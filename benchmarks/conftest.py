@@ -1,0 +1,32 @@
+"""Shared fixtures for the benchmark suite.
+
+Each benchmark regenerates one table or figure of the paper and asserts
+its qualitative shape (who wins, by roughly what factor, where the
+crossovers fall).  ``benchmark.pedantic(..., rounds=1)`` is used for
+the expensive simulation experiments so the suite stays tractable; the
+timing numbers then reflect one full regeneration of the artifact.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments.data import reference_trace
+
+
+@pytest.fixture(scope="session")
+def full_trace():
+    """The paper-scale 171,000-frame reference trace."""
+    return reference_trace(n_frames=171_000)
+
+
+@pytest.fixture(scope="session")
+def sim_trace():
+    """A 40,000-frame trace for the (lossy) queueing experiments."""
+    return reference_trace(n_frames=171_000).segment(0, 40_000)
+
+
+def run_once(benchmark, func, *args, **kwargs):
+    """Benchmark ``func`` with a single round and return its result."""
+    return benchmark.pedantic(func, args=args, kwargs=kwargs, rounds=1, iterations=1)

@@ -1,0 +1,183 @@
+"""Benchmarks for the extension experiments (beyond the paper's figures).
+
+Each regenerates one extension artifact described in DESIGN.md: the
+aggregated-Whittle plot the paper describes but omits, the peak-clipping
+and CBR-vs-VBR recommendations from the Conclusions, layered/priority
+transport from Section 5.3, the SRD-augmented model from the Section 4
+future work, and the interframe (MPEG) extension the paper points to.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import run_once
+from repro.experiments import ext_layered, ext_shaping, ext_whittle_agg
+
+
+def test_ext_whittle_aggregation_sweep(benchmark, full_trace):
+    """Whittle H^(m) with CIs across aggregation levels (+ GPH)."""
+    result = run_once(benchmark, ext_whittle_agg.run, full_trace)
+    # Paper's headline reading: H = 0.8 +- 0.088 at m ~= 700.
+    headline = result["headline"]
+    assert 0.7 < headline["hurst"] < 1.0
+    assert headline["ci_halfwidth"] < 0.2
+    # CIs widen monotonically in m (fewer points per level).
+    widths = result["ci_high"] - result["ci_low"]
+    assert widths[-1] > widths[0]
+    # GPH cross-check lands in the same band.
+    assert 0.65 < result["gph"].hurst < 1.05
+
+
+def test_ext_peak_clipping(benchmark, full_trace):
+    """Clipping the extreme peaks: tiny quality cost, real capacity."""
+    result = run_once(benchmark, ext_shaping.run_clipping, full_trace)
+    rows = {row["quantile"]: row for row in result["rows"]}
+    # Clipping above the 99.9th percentile discards <1% of the bytes...
+    assert rows[0.999]["clipped_fraction"] < 0.01
+    # ...yet saves a noticeable slice of zero-loss capacity.
+    assert rows[0.999]["capacity_saving"] > 0.02
+    # Deeper clipping saves more.
+    savings = [row["capacity_saving"] for row in result["rows"]]
+    assert savings == sorted(savings)
+
+
+def test_ext_cbr_vs_vbr(benchmark, full_trace):
+    """CBR smoothing delay vs multiplexed-VBR buffering."""
+    result = run_once(benchmark, ext_shaping.run_cbr_comparison, full_trace)
+    delays = {row["utilization"]: row["delay_seconds"] for row in result["cbr"]}
+    # CBR at 90% utilization needs seconds of smoothing delay for this
+    # LRD source ...
+    assert delays[0.9] > 1.0
+    # ... while 5-way multiplexed VBR reaches comparable utilization
+    # with 10 ms of network buffer.
+    assert result["vbr"]["utilization"] > 0.5
+    assert result["vbr"]["buffer_delay_seconds"] == 0.010
+
+
+def test_ext_layered_priority_transport(benchmark, full_trace):
+    """Layered coding + priority queueing protects the base layer."""
+    result = run_once(benchmark, ext_layered.run, full_trace)
+    assert result["fifo_loss_rate"] > 0
+    # Base layer is at least an order of magnitude better off than
+    # under FIFO, enhancement pays the bill.
+    assert result["priority_base_loss_rate"] < 0.1 * result["fifo_loss_rate"]
+    assert result["priority_enhancement_loss_rate"] > result["fifo_loss_rate"]
+
+
+def test_ext_composite_model_short_acf(benchmark, sim_trace):
+    """SRD-augmented model matches the trace's short-lag ACF better
+    than the plain model (the paper's anticipated improvement)."""
+
+    def compare():
+        from repro.analysis.correlation import autocorrelation
+        from repro.core.composite import CompositeVBRModel
+        from repro.core.fractional import farima_acf
+        from repro.core.transform import normal_scores
+
+        x = sim_trace.frame_bytes
+        model = CompositeVBRModel.fit(x, ar_order=2)
+        z = normal_scores(x)
+        # Short lags (1-10) are the augmentation's domain; beyond a few
+        # dozen lags the LRD term necessarily dominates either way.
+        data_acf = autocorrelation(z, max_lag=10)[1:]
+        base_acf = farima_acf(model.base.hurst - 0.5, 10)[1:]
+        comp_acf = model.theoretical_short_acf(10)[1:]
+        return (
+            float(np.mean(np.abs(base_acf - data_acf))),
+            float(np.mean(np.abs(comp_acf - data_acf))),
+        )
+
+    err_base, err_composite = run_once(benchmark, compare)
+    assert err_composite < err_base
+
+
+def test_ext_mpeg_trace_properties(benchmark):
+    """The interframe (MPEG) extension: periodicity + burstiness + LRD."""
+
+    def build():
+        from repro.analysis.correlation import aggregate, periodogram
+        from repro.analysis.hurst import variance_time
+        from repro.video.interframe import DEFAULT_GOP_PATTERN, synthesize_mpeg_trace
+
+        trace = synthesize_mpeg_trace(n_frames=48_000, seed=9)
+        x = trace.frame_bytes
+        gop = len(DEFAULT_GOP_PATTERN)
+        omega, intensity = periodogram(x)
+        j_gop = x.size // gop
+        peak = intensity[j_gop - 2 : j_gop + 1].max()
+        background = float(np.median(intensity[j_gop // 2 : j_gop * 2]))
+        h_gop = variance_time(aggregate(x, gop)).hurst
+        cov = float(x.std() / x.mean())
+        return peak / background, h_gop, cov
+
+    periodicity, h_gop, cov = run_once(benchmark, build)
+    # Strong GOP spectral line, LRD beneath it, burstier than intra.
+    assert periodicity > 30
+    assert 0.7 < h_gop < 0.95
+    assert cov > 0.4
+
+
+def test_ext_cell_level_validation(benchmark, sim_trace):
+    """Cell-level simulation validates the byte-fluid model (and the
+    paper's spacing-insensitivity claim)."""
+
+    def compare():
+        from repro.simulation.cells import CELL_PAYLOAD_BYTES, simulate_cell_queue
+        from repro.simulation.queue import simulate_queue
+
+        capacity_bps = sim_trace.mean_rate_bps * 1.05
+        buffer_bytes = 200_000.0
+        fluid = simulate_queue(
+            sim_trace.frame_bytes,
+            capacity_bps / 8.0 / sim_trace.frame_rate,
+            buffer_bytes,
+        )
+        uni = simulate_cell_queue(
+            sim_trace, capacity_bps, buffer_bytes / CELL_PAYLOAD_BYTES, spacing="uniform"
+        )
+        ran = simulate_cell_queue(
+            sim_trace, capacity_bps, buffer_bytes / CELL_PAYLOAD_BYTES,
+            spacing="random", rng=np.random.default_rng(1),
+        )
+        return fluid.loss_rate, uni.loss_rate, ran.loss_rate
+
+    fluid, uniform, random_ = run_once(benchmark, compare)
+    assert uniform == np.clip(uniform, 0.75 * fluid, 1.25 * fluid)
+    assert random_ == np.clip(random_, 0.8 * uniform, 1.25 * uniform)
+
+
+def test_ext_idc_hurst(benchmark, full_trace):
+    """Index-of-dispersion growth cross-checks Table 3's H."""
+
+    def measure():
+        from repro.analysis.dispersion import index_of_dispersion
+        from repro.analysis.hurst import variance_time
+
+        x = full_trace.frame_bytes
+        return index_of_dispersion(x).hurst, variance_time(x).hurst
+
+    h_idc, h_vt = run_once(benchmark, measure)
+    assert abs(h_idc - h_vt) < 0.05
+    assert h_idc > 0.7
+
+
+def test_ext_model_zoo(benchmark, sim_trace):
+    """Seven traffic models through the Fig. 16 harness at once.
+
+    Robust ranking across seeds: the two both-features models
+    (composite, full) sit in the top three, the classical Gaussian
+    SRD models (AR(1), Gaussian-fARIMA at these lengths) trail.
+    An honest nuance: DAR(1) with the *exact* heavy-tailed marginal is
+    competitive on zero-loss buffers at this trace length -- its long
+    geometric holds of Pareto-tail levels mimic persistence at the
+    scales that drive the drawdowns.
+    """
+    from repro.experiments import ext_model_zoo
+
+    result = run_once(benchmark, ext_model_zoo.run, sim_trace, n_frames=30_000)
+    offsets = result["offsets"]
+    ranking = result["ranking"]
+    assert ranking.index("composite") < 3
+    assert ranking.index("full-model") < 4
+    assert offsets["composite"] < offsets["ar1"]
+    assert offsets["composite"] < offsets["gaussian-farima"]
+    assert offsets["full-model"] < offsets["ar1"]

@@ -1,0 +1,127 @@
+"""Benchmarks regenerating the analysis figures (Figs. 1-12)."""
+
+import numpy as np
+
+from benchmarks.conftest import run_once
+from repro.experiments import (
+    fig01_timeseries,
+    fig02_lowfreq,
+    fig03_segments,
+    fig04_ccdf,
+    fig05_lefttail,
+    fig06_density,
+    fig07_acf,
+    fig08_periodogram,
+    fig09_confidence,
+    fig10_selfsimilar,
+    fig11_variance_time,
+    fig12_pox,
+)
+
+
+def test_fig01_full_time_series(benchmark, full_trace):
+    """Fig. 1: the two-hour series with its extreme central peaks."""
+    result = run_once(benchmark, fig01_timeseries.run, full_trace)
+    assert result["duration_minutes"] > 115  # ~2 hours
+    # The top peaks include events near the center (hyperspace /
+    # planet explosion) -- between 40% and 60% of the runtime.
+    rel = np.asarray(result["peak_minutes"]) / result["duration_minutes"]
+    assert np.any((rel > 0.4) & (rel < 0.6))
+    assert np.all(result["high"] >= result["mean"])
+
+
+def test_fig02_low_frequency_content(benchmark, full_trace):
+    """Fig. 2: 20,000-frame moving average shows story-arc structure."""
+    result = run_once(benchmark, fig02_lowfreq.run, full_trace)
+    assert result["window"] == 20_000
+    # Strong low-frequency content: the 14-minute average still wanders
+    # by a nontrivial fraction of its level.
+    assert result["relative_excursion"] > 0.05
+    # And it tracks the scripted story arc.
+    assert result["arc_correlation"] > 0.2
+
+
+def test_fig03_segment_distributions(benchmark, full_trace):
+    """Fig. 3: two-minute segments deviate wildly from the marginal."""
+    result = run_once(benchmark, fig03_segments.run, full_trace)
+    assert len(result["segments"]) == 5
+    assert result["segment_length"] == 2_880  # 2 min at 24 fps
+    # Segment means sit many i.i.d. standard errors from the global
+    # mean -- impossible under short-range dependence.
+    assert np.max(result["mean_deviation_sigmas"]) > 5.0
+
+
+def test_fig04_ccdf_tail_comparison(benchmark, full_trace):
+    """Fig. 4: Pareto matches the tail; Normal/Gamma/Lognormal fail."""
+    result = run_once(benchmark, fig04_ccdf.run, full_trace)
+    dev = result["tail_deviation"]
+    # The paper's verdict, as an ordering.
+    assert result["ranking"][0] in ("pareto", "gamma_pareto")
+    assert dev["pareto"] < dev["lognormal"]
+    assert dev["pareto"] < dev["normal"]
+    assert dev["normal"] > dev["gamma"]  # Normal falls off fastest
+
+
+def test_fig05_left_tail(benchmark, full_trace):
+    """Fig. 5: the Gamma body is adequate at the lower end."""
+    result = run_once(benchmark, fig05_lefttail.run, full_trace)
+    assert result["left_tail_deviation"]["gamma"] < 0.5
+    # The hybrid inherits the Gamma's left tail exactly.
+    np.testing.assert_allclose(result["gamma_pareto"], result["gamma"], rtol=1e-6)
+
+
+def test_fig06_density_fit(benchmark, full_trace):
+    """Fig. 6: empirical density vs the Gamma/Pareto model."""
+    result = run_once(benchmark, fig06_density.run, full_trace)
+    assert result["l1_discrepancy"] < 0.05
+
+
+def test_fig07_autocorrelation(benchmark, full_trace):
+    """Fig. 7: exponential fit collapses beyond a few hundred lags."""
+    result = run_once(benchmark, fig07_acf.run, full_trace)
+    assert result["acf"].size == 10_001
+    # ACF still positive at lag 10,000 (paper: decays extremely slowly).
+    assert result["acf"][10_000] > 0.0
+    # Exponential extrapolation is off by orders of magnitude at lag
+    # 3000.
+    assert result["exp_underestimates_tail"] > 100.0
+
+
+def test_fig08_periodogram(benchmark, full_trace):
+    """Fig. 8: omega^-alpha divergence at low frequencies."""
+    result = run_once(benchmark, fig08_periodogram.run, full_trace)
+    assert result["alpha"] > 0.3
+    assert 0.65 < result["hurst"] < 1.1
+    # Low-frequency intensity dominates the high end by decades.
+    assert result["intensity"][0] > 100 * result["intensity"][-1]
+
+
+def test_fig09_confidence_intervals(benchmark, full_trace):
+    """Fig. 9: i.i.d. CIs are dishonest; LRD CIs behave."""
+    result = run_once(benchmark, fig09_confidence.run, full_trace)
+    # Paper: 'for most cases, the final mean ... is not even contained
+    # in the interval'.
+    assert result["iid_coverage"] < 0.6
+    assert result["lrd_coverage"] >= result["iid_coverage"]
+
+
+def test_fig10_self_similarity(benchmark, full_trace):
+    """Fig. 10: aggregated series retain significant correlations."""
+    result = run_once(benchmark, fig10_selfsimilar.run, full_trace)
+    for m in (100, 500, 1000):
+        assert result["levels"][m]["significant_lags"] >= 2, m
+
+
+def test_fig11_variance_time(benchmark, full_trace):
+    """Fig. 11: variance-time slope well above the SRD reference."""
+    result = run_once(benchmark, fig11_variance_time.run, full_trace)
+    # Paper: H = 0.78; SRD would give 0.5.
+    assert 0.72 < result["hurst"] < 0.9
+    assert result["beta"] < 0.6  # visibly shallower than the -1 line
+
+
+def test_fig12_rs_pox(benchmark, full_trace):
+    """Fig. 12: R/S pox slope near the paper's 0.83."""
+    result = run_once(benchmark, fig12_pox.run, full_trace)
+    assert 0.72 < result["hurst"] < 0.92
+    assert result["hurst"] > result["srd_reference_slope"] + 0.2

@@ -1,0 +1,117 @@
+"""Benchmarks regenerating the queueing figures (Figs. 14-17)."""
+
+import numpy as np
+
+from benchmarks.conftest import run_once
+from repro.experiments import (
+    fig13_system,
+    fig14_qc,
+    fig15_smg,
+    fig16_model_vs_trace,
+    fig17_loss_process,
+)
+
+
+def test_fig14_qc_curves(benchmark, sim_trace):
+    """Fig. 14: the Q-C trade-off family over N and loss targets."""
+    result = run_once(
+        benchmark,
+        fig14_qc.run,
+        sim_trace,
+        n_sources=(1, 2, 5, 20),
+        specs=(("overall", 0.0), ("overall", 1e-4), ("wes", 1e-3)),
+        n_frames=40_000,
+        n_points=8,
+    )
+    curves = result["curves"]
+    assert len(curves) == 12
+    # Strong knee: the delay axis spans decades over the capacity grid.
+    c = curves[(1, "overall", 0.0)]
+    positive = c.tmax_ms[c.tmax_ms > 0]
+    assert positive.max() / max(positive.min(), 1e-6) > 100
+    # Vertical family ordering at matched capacity: stricter loss
+    # targets need at least the delay of looser ones.
+    strict = curves[(5, "overall", 0.0)].tmax_ms
+    loose = curves[(5, "overall", 1e-4)].tmax_ms
+    assert np.all(strict >= loose - 1e-9)
+    # Multiplexing helps: at the same delay target (take T_max <= 10
+    # ms), 20 sources need much less per-source capacity than 1.
+    def capacity_at_10ms(curve):
+        idx = np.searchsorted(-curve.tmax_ms, -10.0)
+        return curve.capacity_per_source_mbps[min(idx, curve.tmax_ms.size - 1)]
+
+    assert capacity_at_10ms(curves[(20, "overall", 0.0)]) < 0.75 * capacity_at_10ms(
+        curves[(1, "overall", 0.0)]
+    )
+
+
+def test_fig15_statistical_multiplexing_gain(benchmark, sim_trace):
+    """Fig. 15: capacity falls from ~peak at N=1 to ~mean at N=20."""
+    result = run_once(
+        benchmark,
+        fig15_smg.run,
+        sim_trace,
+        n_values=(1, 2, 5, 10, 20),
+        loss_targets=(0.0, 1e-4, 1e-3),
+        n_frames=40_000,
+    )
+    zero = result["curves"][0.0]
+    caps = zero["capacity_per_source"]
+    # Monotone decreasing in N.
+    assert np.all(np.diff(caps) < 1e-9)
+    # N=1 near peak, N=20 near mean.
+    assert caps[0] > 0.75 * zero["peak_rate"]
+    assert caps[-1] < 1.4 * zero["mean_rate"]
+    # Paper: ~72% of the possible gain by N=5 (we accept 55-95%).
+    assert 0.55 < result["mean_gain_at_5"] < 0.95
+
+
+def test_fig16_model_vs_trace(benchmark, sim_trace):
+    """Fig. 16: the full model tracks the trace; both crippled
+    variants are worse; all converge as N grows."""
+    result = run_once(
+        benchmark,
+        fig16_model_vs_trace.run,
+        sim_trace,
+        n_sources=(1, 2, 5, 20),
+        n_frames=40_000,
+        n_buffers=8,
+    )
+    offsets = result["offsets"]
+    # Full model closest to the trace at low N (the hard case).
+    assert offsets[1]["full-model"] <= offsets[1]["gaussian-farima"]
+    assert offsets[1]["full-model"] <= offsets[1]["iid-gamma-pareto"] + 0.05
+    # Agreement improves with N for the full model.
+    assert offsets[20]["full-model"] <= offsets[1]["full-model"] + 0.02
+    # The distinction between models also diminishes with N.
+    spread_1 = max(offsets[1].values()) - min(offsets[1].values())
+    spread_20 = max(offsets[20].values()) - min(offsets[20].values())
+    assert spread_20 < spread_1 + 0.05
+
+
+def test_fig17_loss_processes(benchmark, sim_trace):
+    """Fig. 17: same overall loss, very different error processes."""
+    result = run_once(
+        benchmark,
+        fig17_loss_process.run,
+        sim_trace,
+        n_sources=(1, 20),
+        n_frames=40_000,
+    )
+    p1 = result["processes"][1]
+    p20 = result["processes"][20]
+    # Both tuned to (near) the same overall loss.
+    assert p1["overall_loss"] <= result["target_loss"] * 1.5
+    assert p20["overall_loss"] <= result["target_loss"] * 1.5
+    # The single source's losses are concentrated into episodes.
+    assert p1["concentration"] > 2 * p20["concentration"]
+    # The multiplexed system needs less capacity per source.
+    assert p20["capacity_per_source"] < p1["capacity_per_source"]
+
+
+def test_fig13_system_composition(benchmark, sim_trace):
+    """Fig. 13: the simulated system, assembled and law-checked."""
+    result = run_once(benchmark, fig13_system.run, sim_trace, n_frames=20_000)
+    assert result["conservation_ok"]
+    assert 0.0 <= result["loss_rate"] < 1.0
+    assert result["capacity_mbps"] > 0

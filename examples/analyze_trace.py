@@ -1,0 +1,99 @@
+#!/usr/bin/env python3
+"""Full statistical analysis of a VBR video trace (Section 3 of the paper).
+
+Reproduces the paper's analysis battery on any trace:
+
+- Table 2 summary statistics,
+- marginal-distribution comparison (Normal / Gamma / Lognormal /
+  Pareto / hybrid Gamma/Pareto) with tail verdicts (Fig. 4),
+- long-range dependence: variance-time, R/S pox, Whittle (Table 3),
+- LRD-aware confidence intervals for the mean (Fig. 9).
+
+Run on the bundled synthetic trace:
+    python examples/analyze_trace.py
+Run on your own trace file (one integer byte count per line):
+    python examples/analyze_trace.py --trace path/to/trace.dat
+"""
+
+import argparse
+
+import numpy as np
+
+from repro.analysis.confidence import mean_confidence_convergence
+from repro.analysis.hurst import hurst_summary
+from repro.experiments.fig04_ccdf import run as ccdf_run
+from repro.experiments.reporting import format_kv, format_table
+from repro.video.starwars import synthesize_starwars_trace
+from repro.video.tracefile import load_trace
+
+
+def parse_args():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--trace", help="trace file (one integer per line)")
+    parser.add_argument(
+        "--frames", type=int, default=40_000,
+        help="length of the synthetic trace when no file is given",
+    )
+    return parser.parse_args()
+
+
+def main():
+    args = parse_args()
+    if args.trace:
+        trace = load_trace(args.trace)
+        print(f"Loaded {trace.n_frames} frames from {args.trace}")
+    else:
+        trace = synthesize_starwars_trace(n_frames=args.frames, seed=11)
+        print(f"Synthesized {trace.n_frames} calibrated frames (pass --trace for real data)")
+    x = trace.frame_bytes
+
+    # --- Table 2 ------------------------------------------------------
+    print()
+    print(format_kv(trace.summary("frame").format_rows(), title="Summary statistics (frame):"))
+
+    # --- Marginal distribution (Fig. 4) -------------------------------
+    result = ccdf_run(trace)
+    rows = [
+        [name, f"{result['tail_deviation'][name]:.3f}"]
+        for name in result["ranking"]
+    ]
+    print()
+    print(format_table(
+        ["model", "tail log10 deviation"],
+        rows,
+        title="Right-tail fit (smaller is better; paper: Pareto wins):",
+    ))
+    hybrid = result["models"]["gamma_pareto"]
+    print(f"\nFitted Gamma/Pareto: {hybrid}")
+    print(f"  -> Pareto tail holds {hybrid.tail_mass:.1%} of the mass beyond "
+          f"{hybrid.x_th:.0f} bytes/frame")
+
+    # --- Long-range dependence (Table 3) -------------------------------
+    hs = hurst_summary(x)
+    w = hs["whittle"]
+    rows = [
+        ["Variance-Time", f"{hs['variance_time']:.3f}"],
+        ["R/S Analysis", f"{hs['rs']:.3f}"],
+        ["R/S Aggregated", f"{hs['rs_aggregated']:.3f}"],
+        ["R/S with n, M varied", f"{hs['rs_varied'][0]:.3f}-{hs['rs_varied'][1]:.3f}"],
+        ["Whittle estimate", f"{w.hurst:.3f} +- {1.96 * w.std_error:.3f}"],
+    ]
+    print()
+    print(format_table(["method", "H"], rows, title="Hurst parameter (Table 3 style):"))
+
+    # --- Honest confidence intervals (Fig. 9) --------------------------
+    h = float(np.clip(hs["variance_time"], 0.55, 0.95))
+    conv = mean_confidence_convergence(x, h)
+    print(
+        f"\nMean-rate estimation honesty (H = {h:.2f}):\n"
+        f"  conventional (i.i.d.) 95% CIs contain the final mean for "
+        f"{conv.iid_coverage():.0%} of prefixes;\n"
+        f"  LRD-corrected CIs for {conv.lrd_coverage():.0%}."
+    )
+    if hs["variance_time"] > 0.6:
+        print("\nVerdict: the trace is long-range dependent -- short-range "
+              "models will underestimate resource needs.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,90 @@
+#!/usr/bin/env python3
+"""Network capacity planning for multiplexed VBR video (Section 5).
+
+Answers the operator's question the paper's Figs. 14-15 answer:
+*how much bandwidth and buffer do N statistically multiplexed VBR video
+streams need for a given loss target?*
+
+- sweeps the Q-C trade-off (max buffer delay vs per-source capacity),
+- locates the knee (the natural operating point),
+- prints the statistical-multiplexing-gain table.
+
+Run:  python examples/capacity_planning.py [--frames 30000] [--loss 1e-4]
+"""
+
+import argparse
+
+import numpy as np
+
+from repro.experiments.reporting import format_table
+from repro.simulation.qc import knee_point, qc_curve, smg_curve
+from repro.video.starwars import synthesize_starwars_trace
+
+
+def parse_args():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--frames", type=int, default=30_000, help="trace length")
+    parser.add_argument("--loss", type=float, default=1e-4, help="overall loss target")
+    parser.add_argument("--tmax-ms", type=float, default=2.0,
+                        help="buffer delay for the SMG table (paper: 2 ms)")
+    return parser.parse_args()
+
+
+def main():
+    args = parse_args()
+    trace = synthesize_starwars_trace(n_frames=args.frames, seed=5, with_slices=False)
+    series = trace.frame_bytes
+    slot_seconds = 1.0 / trace.frame_rate
+    rng = np.random.default_rng(1)
+    min_sep = min(1000, trace.n_frames // 40)
+
+    mean_mbps = trace.mean_rate_bps / 1e6
+    peak_mbps = trace.peak_rate_bps / 1e6
+    print(f"Source: {trace.n_frames} frames, mean {mean_mbps:.2f} Mb/s, "
+          f"peak {peak_mbps:.2f} Mb/s, loss target {args.loss:g}\n")
+
+    # --- Q-C curves with knees (Fig. 14) -------------------------------
+    rows = []
+    for n in (1, 2, 5, 20):
+        curve = qc_curve(
+            series, slot_seconds, n_sources=n, target_loss=args.loss,
+            n_points=10, min_separation=min_sep, rng=rng,
+        )
+        k = knee_point(curve)
+        rows.append([
+            n,
+            f"{curve.capacity_per_source_mbps[k]:.2f}",
+            f"{curve.tmax_ms[k]:.2f}",
+            f"{curve.buffer_bytes[k] / 1e3:.0f}",
+        ])
+    print(format_table(
+        ["N sources", "knee C/N (Mb/s)", "knee T_max (ms)", "knee buffer (kB)"],
+        rows,
+        title="Q-C operating points (knee of each trade-off curve):",
+    ))
+
+    # --- SMG table (Fig. 15) -------------------------------------------
+    smg = smg_curve(
+        series, slot_seconds, n_values=(1, 2, 5, 10, 20),
+        target_loss=args.loss, tmax_ms=args.tmax_ms,
+        min_separation=min_sep, rng=rng,
+    )
+    rows = [
+        [int(n), f"{c:.2f}", f"{g:.0%}"]
+        for n, c, g in zip(
+            smg["n_sources"], smg["capacity_per_source_mbps"], smg["gain_fraction"]
+        )
+    ]
+    print()
+    print(format_table(
+        ["N sources", "C/N (Mb/s)", "gain realized"],
+        rows,
+        title=f"Statistical multiplexing gain (buffers sized for T_max = {args.tmax_ms} ms):",
+    ))
+    print("\n(paper: one source needs ~peak rate; by N=5 about 72% of the "
+          "peak-to-mean gap is recovered; by N=20 the allocation "
+          "approaches the mean rate)")
+
+
+if __name__ == "__main__":
+    main()

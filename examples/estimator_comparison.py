@@ -1,0 +1,83 @@
+#!/usr/bin/env python3
+"""Hurst-estimator shoot-out: seven estimators, two data sets.
+
+Runs every H estimator in the library on (a) synthetic fractional
+Gaussian noise with *known* H = 0.8 -- a correctness check -- and
+(b) the calibrated VBR video trace -- the Table 3 reproduction plus the
+newer estimators (GPH, wavelet, IDC) as cross-checks.
+
+Run:  python examples/estimator_comparison.py [--frames 40000]
+"""
+
+import argparse
+
+import numpy as np
+
+from repro.analysis.dispersion import index_of_dispersion
+from repro.analysis.hurst import gph, rs_pox, variance_time, whittle, whittle_aggregated
+from repro.analysis.wavelet import wavelet_hurst
+from repro.core.daviesharte import DaviesHarteGenerator
+from repro.experiments.fig08_periodogram import run as periodogram_run
+from repro.experiments.reporting import format_table
+from repro.video.starwars import synthesize_starwars_trace
+from repro.video.trace import VBRTrace
+
+
+def estimate_all(x, trace=None):
+    """All estimators on one non-negative series; returns {name: H}."""
+    shifted = x - x.min() + 1.0 if np.any(x <= 0) else x
+    results = {
+        "variance-time": variance_time(x).hurst,
+        "R/S pox": rs_pox(x).hurst,
+        "Whittle (m=1)": whittle(x).hurst,
+        "GPH": gph(x).hurst,
+        "wavelet (Haar)": wavelet_hurst(x).hurst,
+        "IDC": index_of_dispersion(shifted).hurst,
+    }
+    agg = whittle_aggregated(x, m_values=[max(x.size // 500, 1)])
+    results[f"Whittle (m={agg[0][0]})"] = agg[0][1].hurst
+    if trace is not None:
+        results["periodogram slope"] = periodogram_run(trace)["hurst"]
+    return results
+
+
+def parse_args():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--frames", type=int, default=40_000)
+    return parser.parse_args()
+
+
+def main():
+    args = parse_args()
+    rng = np.random.default_rng(7)
+
+    # (a) Known ground truth.
+    fgn = DaviesHarteGenerator(0.8).generate(2**15, rng=rng)
+    fgn_estimates = estimate_all(fgn)
+    rows = [[name, f"{h:.3f}", f"{h - 0.8:+.3f}"] for name, h in fgn_estimates.items()]
+    print(format_table(
+        ["estimator", "H", "error"],
+        rows,
+        title="Fractional Gaussian noise, true H = 0.800:",
+    ))
+
+    # (b) The VBR video trace.
+    trace = synthesize_starwars_trace(n_frames=args.frames, seed=11, with_slices=False)
+    estimates = estimate_all(trace.frame_bytes, trace=VBRTrace(trace.frame_bytes))
+    rows = [[name, f"{h:.3f}"] for name, h in estimates.items()]
+    print()
+    print(format_table(
+        ["estimator", "H"],
+        rows,
+        title=f"Calibrated VBR video trace ({args.frames} frames; paper: 0.78-0.83):",
+    ))
+    values = np.array(list(estimates.values()))
+    print(
+        f"\nAll {values.size} estimators agree the trace is strongly LRD "
+        f"(H in [{values.min():.2f}, {values.max():.2f}]); an SRD process "
+        "would read ~0.5 on every one of them."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,70 @@
+#!/usr/bin/env python3
+"""Layered VBR video over a priority queue (Section 5.3's suggestion).
+
+Splits a VBR trace into a base layer (the essential picture) and an
+enhancement layer, then pushes both through a congested link twice:
+
+1. plain FIFO -- both layers share fate;
+2. strict-priority with pushout -- the base layer is protected,
+   enhancement absorbs the loss.
+
+Also demonstrates codec-level layering: the DCT coefficients of each
+block are split into a low-frequency base and high-frequency
+enhancement, each with its own run-length/Huffman stream.
+
+Run:  python examples/layered_transport.py
+"""
+
+import numpy as np
+
+from repro.experiments.reporting import format_table
+from repro.simulation.priority import simulate_priority_queue
+from repro.simulation.queue import simulate_queue
+from repro.video.layering import LayeredIntraframeCodec, layer_series
+from repro.video.starwars import synthesize_starwars_trace
+from repro.video.synthetic import SyntheticMovie
+
+
+def main():
+    # --- Codec-level layering on real coded frames ----------------------
+    print("Codec-level layering (DCT coefficient split):")
+    codec = LayeredIntraframeCodec(quant_step=16.0, n_base_coeffs=6)
+    movie = SyntheticMovie(6, height=48, width=64, seed=9)
+    rows = []
+    for i, frame in enumerate(movie):
+        layered = codec.encode_frame_layered(frame)
+        rows.append([
+            i, layered.base_bytes, layered.enhancement_bytes,
+            f"{layered.base_fraction:.0%}",
+        ])
+    print(format_table(["frame", "base bytes", "enhancement bytes", "base share"], rows))
+
+    # --- Transport over a congested link --------------------------------
+    trace = synthesize_starwars_trace(n_frames=20_000, seed=4, with_slices=False)
+    x = trace.frame_bytes
+    base, enh = layer_series(x, base_fraction=0.4)
+    capacity = float(np.mean(x)) * 1.03  # only 3% headroom: congestion
+    buffer_bytes = 80_000.0
+
+    fifo = simulate_queue(x, capacity, buffer_bytes)
+    prio = simulate_priority_queue(base, enh, capacity, buffer_bytes)
+
+    print(f"\nTransport at {capacity * 8 * 24 / 1e6:.2f} Mb/s "
+          f"(3% above the mean rate), buffer {buffer_bytes / 1e3:.0f} kB:")
+    rows = [
+        ["FIFO (no layers)", f"{fifo.loss_rate:.2e}", f"{fifo.loss_rate:.2e}"],
+        [
+            "priority + pushout",
+            f"{prio.high_loss_rate:.2e}",
+            f"{prio.low_loss_rate:.2e}",
+        ],
+    ]
+    print(format_table(["discipline", "base-layer loss", "enhancement loss"], rows))
+    if prio.high_loss_rate < fifo.loss_rate / 10:
+        print("\nThe priority discipline keeps the essential layer nearly "
+              "loss-free at identical total resources -- the mechanism the "
+              "paper points to for concealing congestion from viewers.")
+
+
+if __name__ == "__main__":
+    main()

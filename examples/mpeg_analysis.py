@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""Interframe (MPEG-style) VBR video: the paper's noted extension.
+
+The paper studies intraframe coding and remarks that interframe (MPEG)
+coding yields "greater compression, burstiness and much stronger
+dependence on motion", with its main results extending to MPEG as well.
+This example synthesizes an MPEG-like trace (GOP pattern IBBPBBPBBPBB
+over the same scene-structured activity process) and shows:
+
+- the GOP periodicity dominating the spectrum,
+- higher burstiness than intraframe coding at matched content,
+- unchanged long-range dependence once whole GOPs are aggregated.
+
+Run:  python examples/mpeg_analysis.py [--frames 24000]
+"""
+
+import argparse
+
+import numpy as np
+
+from repro.analysis.correlation import aggregate, periodogram
+from repro.analysis.hurst import variance_time
+from repro.experiments.reporting import format_table
+from repro.video.interframe import DEFAULT_GOP_PATTERN, synthesize_mpeg_trace
+from repro.video.starwars import synthesize_starwars_trace
+
+
+def parse_args():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--frames", type=int, default=24_000)
+    return parser.parse_args()
+
+
+def main():
+    args = parse_args()
+    gop = len(DEFAULT_GOP_PATTERN)
+    mpeg = synthesize_mpeg_trace(n_frames=args.frames, seed=4)
+    intra = synthesize_starwars_trace(n_frames=args.frames, seed=4, with_slices=False)
+
+    x = mpeg.frame_bytes
+    y = intra.frame_bytes
+    rows = [
+        ["mean (bytes/frame)", f"{y.mean():.0f}", f"{x.mean():.0f}"],
+        ["CoV", f"{y.std() / y.mean():.2f}", f"{x.std() / x.mean():.2f}"],
+        ["peak/mean", f"{y.max() / y.mean():.2f}", f"{x.max() / x.mean():.2f}"],
+    ]
+    print(format_table(
+        ["statistic", "intraframe", f"MPEG ({DEFAULT_GOP_PATTERN})"],
+        rows,
+        title="Intraframe vs interframe coding of the same content:",
+    ))
+
+    # Frame-type byte budget.
+    per_gop = x[: (x.size // gop) * gop].reshape(-1, gop)
+    by_type = {}
+    for pos, ch in enumerate(DEFAULT_GOP_PATTERN):
+        by_type.setdefault(ch, []).append(per_gop[:, pos].mean())
+    rows = [[ch, f"{np.mean(v):.0f}"] for ch, v in sorted(by_type.items())]
+    print()
+    print(format_table(["frame type", "mean bytes"], rows, title="Per-frame-type budget:"))
+
+    # GOP periodicity in the spectrum.
+    omega, intensity = periodogram(x)
+    j_gop = x.size // gop
+    peak = intensity[j_gop - 2 : j_gop + 1].max()
+    background = float(np.median(intensity[j_gop // 2 : j_gop * 2]))
+    print(f"\nGOP spectral line: {peak / background:.0f}x the local background "
+          f"(at f = frame_rate/{gop}).")
+
+    # LRD beneath the periodicity.
+    h_frame = variance_time(x).hurst
+    h_gop = variance_time(aggregate(x, gop)).hurst
+    print(f"Hurst parameter: {h_frame:.2f} at frame level (periodicity-distorted), "
+          f"{h_gop:.2f} after aggregating whole GOPs -- the long-range "
+          "dependence of the underlying content is untouched by the coding mode.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,35 @@
+"""Reproduction of Garrett & Willinger (SIGCOMM 1994).
+
+``repro`` is a library for the analysis, modeling and generation of
+self-similar variable-bit-rate (VBR) video traffic.  It reproduces, from
+scratch, every system described in the paper:
+
+- ``repro.distributions`` -- Normal / Gamma / Lognormal / Pareto models
+  and the hybrid Gamma/Pareto marginal distribution with a slope-matched
+  splice point.
+- ``repro.core`` -- fractional ARIMA(0, d, 0) noise generation
+  (Hosking's exact algorithm and a fast Davies-Harte generator), the
+  Gaussian-to-arbitrary-marginal transform, and the four-parameter
+  Garrett-Willinger VBR video source model together with the baseline
+  models the paper compares against.
+- ``repro.analysis`` -- summary statistics, marginal/tail analysis,
+  autocorrelation, periodograms, block aggregation, and Hurst-parameter
+  estimation (variance-time plots, R/S pox diagrams, Whittle's MLE) plus
+  LRD-aware confidence intervals.
+- ``repro.video`` -- an intraframe DCT / run-length / Huffman video
+  codec, a procedural movie generator, and a calibrated synthesizer for
+  a Star-Wars-like two-hour VBR trace.
+- ``repro.simulation`` -- a finite-buffer FIFO queueing simulator with
+  N-source statistical multiplexing, loss metrics and Q-C resource
+  trade-off machinery.
+- ``repro.experiments`` -- one module per table and figure of the
+  paper's evaluation.
+"""
+
+from repro.core.model import VBRVideoModel
+from repro.distributions.hybrid import GammaParetoHybrid
+from repro.video.trace import VBRTrace
+
+__all__ = ["VBRVideoModel", "GammaParetoHybrid", "VBRTrace"]
+
+__version__ = "1.0.0"

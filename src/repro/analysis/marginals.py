@@ -1,0 +1,117 @@
+"""Marginal-distribution analysis (Figs. 3-6 of the paper).
+
+Figure 3 compares per-segment bandwidth histograms against the full
+trace -- short segments deviate strongly from the long-term marginal.
+Figures 4-6 compare the empirical CCDF (right tail), CDF (left tail)
+and density against the fitted Normal, Gamma, Lognormal, Pareto and
+hybrid Gamma/Pareto models.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro._validation import as_1d_float_array, require_positive_int
+from repro.distributions.fitting import empirical_ccdf, empirical_cdf, fit_all_candidates
+
+__all__ = [
+    "histogram_density",
+    "segment_histograms",
+    "ccdf_model_comparison",
+    "left_tail_comparison",
+]
+
+
+def histogram_density(data, n_bins=100, data_range=None):
+    """Normalized histogram: ``(bin_centers, density)``.
+
+    Density integrates to one, making it directly comparable with
+    model ``pdf`` curves (Fig. 6).
+    """
+    arr = as_1d_float_array(data, "data", min_length=2)
+    n_bins = require_positive_int(n_bins, "n_bins")
+    density, edges = np.histogram(arr, bins=n_bins, range=data_range, density=True)
+    centers = 0.5 * (edges[:-1] + edges[1:])
+    return centers, density
+
+
+def segment_histograms(data, n_segments=5, segment_length=None, n_bins=60):
+    """Per-segment histograms plus the full-series histogram (Fig. 3).
+
+    The paper uses five two-minute (2,880-frame) segments drawn from
+    across the movie plus the complete trace.  Segments are evenly
+    spaced across the series.  Returns a dict with ``"segments"`` -- a
+    list of ``(start_index, centers, density)`` tuples -- and
+    ``"full"`` -- ``(centers, density)`` for the entire series.  All
+    histograms share the full-series bin range so they are directly
+    comparable.
+    """
+    arr = as_1d_float_array(data, "data", min_length=10)
+    n_segments = require_positive_int(n_segments, "n_segments")
+    if segment_length is None:
+        segment_length = max(arr.size // 60, 10)
+    segment_length = require_positive_int(segment_length, "segment_length")
+    if segment_length > arr.size:
+        raise ValueError(
+            f"segment_length ({segment_length}) exceeds series length ({arr.size})"
+        )
+    data_range = (float(arr.min()), float(arr.max()))
+    starts = np.linspace(0, arr.size - segment_length, n_segments).astype(int)
+    segments = []
+    for start in starts:
+        centers, density = histogram_density(
+            arr[start : start + segment_length], n_bins=n_bins, data_range=data_range
+        )
+        segments.append((int(start), centers, density))
+    full = histogram_density(arr, n_bins=n_bins, data_range=data_range)
+    return {"segments": segments, "full": full}
+
+
+def ccdf_model_comparison(data, tail_fraction=0.03, n_grid=200):
+    """Empirical vs model complementary CDFs on the right tail (Fig. 4).
+
+    Fits all candidate models and evaluates their survival functions on
+    a grid spanning the upper half of the data range.  Returns a dict
+    with ``"x"`` (grid), ``"empirical"`` -- the empirical CCDF
+    evaluated by interpolation on the grid -- and one survival curve
+    per fitted model (keys as in
+    :func:`repro.distributions.fitting.fit_all_candidates`), plus the
+    fitted ``"models"`` themselves.
+    """
+    arr = as_1d_float_array(data, "data", min_length=100)
+    models = fit_all_candidates(arr, tail_fraction=tail_fraction)
+    x_emp, s_emp = empirical_ccdf(arr)
+    median = float(np.median(arr))
+    grid = np.logspace(np.log10(median), np.log10(float(arr.max())), n_grid)
+    # Step-function interpolation of the empirical CCDF on the grid:
+    # with idx sample points <= g, the fraction above g is (n - idx)/n,
+    # which is s_emp[idx - 1] (and 1 when no points lie at or below g).
+    idx = np.searchsorted(x_emp, grid, side="right")
+    empirical = np.where(idx > 0, s_emp[np.maximum(idx - 1, 0)], 1.0)
+    out = {"x": grid, "empirical": empirical, "models": models}
+    for name, model in models.items():
+        out[name] = np.asarray(model.sf(grid), dtype=float)
+    return out
+
+
+def left_tail_comparison(data, tail_fraction=0.03, n_grid=200):
+    """Empirical vs model CDFs on the left tail (Fig. 5).
+
+    Same structure as :func:`ccdf_model_comparison` but with CDF values
+    on a grid spanning from the sample minimum up to the median.  The
+    paper uses this plot to confirm that the Gamma body fits the lower
+    end adequately (the left tail is not symmetric to the right one).
+    """
+    arr = as_1d_float_array(data, "data", min_length=100)
+    if np.any(arr <= 0):
+        raise ValueError("bandwidth data must be strictly positive")
+    models = fit_all_candidates(arr, tail_fraction=tail_fraction)
+    x_emp, f_emp = empirical_cdf(arr)
+    median = float(np.median(arr))
+    grid = np.logspace(np.log10(float(arr.min())), np.log10(median), n_grid)
+    idx = np.searchsorted(x_emp, grid, side="right")
+    empirical = np.where(idx > 0, f_emp[np.maximum(idx - 1, 0)], 0.0)
+    out = {"x": grid, "empirical": empirical, "models": models}
+    for name, model in models.items():
+        out[name] = np.asarray(model.cdf(grid), dtype=float)
+    return out

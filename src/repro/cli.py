@@ -1,0 +1,209 @@
+"""Command-line interface: synthesize, analyze, simulate, reproduce.
+
+Usage (also via ``python -m repro``):
+
+    repro synthesize --frames 20000 --out trace.dat
+    repro analyze trace.dat
+    repro analyze --synthetic --frames 40000
+    repro report trace.dat
+    repro simulate trace.dat --sources 5 --capacity-mbps 7.0 --buffer-ms 10
+    repro experiments --quick
+
+Every command prints plain text tables; the underlying data comes from
+the same library entry points the examples and benchmarks use.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser():
+    """The argparse parser for the ``repro`` command."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Self-similar VBR video traffic: analysis, modeling, generation",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_syn = sub.add_parser("synthesize", help="synthesize a calibrated VBR trace")
+    p_syn.add_argument("--frames", type=int, default=20_000)
+    p_syn.add_argument("--seed", type=int, default=0)
+    p_syn.add_argument("--out", required=True, help="output trace file")
+    p_syn.add_argument("--unit", choices=("frame", "slice"), default="frame")
+    p_syn.add_argument("--mpeg", action="store_true",
+                       help="synthesize an MPEG-like (interframe) trace instead")
+
+    p_ana = sub.add_parser("analyze", help="analyze a trace (Tables 2-3 style)")
+    p_ana.add_argument("trace", nargs="?", help="trace file (omit with --synthetic)")
+    p_ana.add_argument("--synthetic", action="store_true")
+    p_ana.add_argument("--frames", type=int, default=40_000)
+    p_ana.add_argument("--seed", type=int, default=0)
+
+    p_sim = sub.add_parser("simulate", help="queueing simulation of multiplexed sources")
+    p_sim.add_argument("trace", nargs="?", help="trace file (omit with --synthetic)")
+    p_sim.add_argument("--synthetic", action="store_true")
+    p_sim.add_argument("--frames", type=int, default=40_000)
+    p_sim.add_argument("--seed", type=int, default=0)
+    p_sim.add_argument("--sources", type=int, default=1)
+    p_sim.add_argument("--capacity-mbps", type=float, required=True,
+                       help="aggregate channel capacity in Mb/s")
+    p_sim.add_argument("--buffer-ms", type=float, default=10.0,
+                       help="buffer size as delay at full capacity")
+
+    p_exp = sub.add_parser("experiments", help="run the full reproduction suite")
+    p_exp.add_argument("--quick", action="store_true")
+
+    p_rep = sub.add_parser("report", help="full Section-3 analysis report")
+    p_rep.add_argument("trace", nargs="?", help="trace file (omit with --synthetic)")
+    p_rep.add_argument("--synthetic", action="store_true")
+    p_rep.add_argument("--frames", type=int, default=40_000)
+    p_rep.add_argument("--seed", type=int, default=0)
+
+    p_gen = sub.add_parser("generate", help="generate traffic from the fitted model")
+    p_gen.add_argument("trace", nargs="?", help="trace file to fit (omit with --synthetic)")
+    p_gen.add_argument("--synthetic", action="store_true")
+    p_gen.add_argument("--frames", type=int, default=20_000)
+    p_gen.add_argument("--seed", type=int, default=0)
+    p_gen.add_argument("--out", required=True, help="output trace file")
+    return parser
+
+
+def _load_or_synthesize(args):
+    from repro.video.starwars import synthesize_starwars_trace
+    from repro.video.tracefile import load_trace
+
+    if getattr(args, "synthetic", False) or not args.trace:
+        return synthesize_starwars_trace(
+            n_frames=args.frames, seed=args.seed, with_slices=False
+        )
+    return load_trace(args.trace)
+
+
+def _cmd_synthesize(args):
+    from repro.video.interframe import synthesize_mpeg_trace
+    from repro.video.starwars import synthesize_starwars_trace
+    from repro.video.tracefile import save_trace
+
+    if args.mpeg:
+        trace = synthesize_mpeg_trace(n_frames=args.frames, seed=args.seed)
+        if args.unit == "slice":
+            raise SystemExit("--unit slice is not available for MPEG synthesis")
+    else:
+        trace = synthesize_starwars_trace(
+            n_frames=args.frames, seed=args.seed, with_slices=args.unit == "slice"
+        )
+    save_trace(trace, args.out, unit=args.unit)
+    print(f"wrote {args.frames} frames ({args.unit} resolution) to {args.out}")
+    print(f"  {trace}")
+    return 0
+
+
+def _cmd_analyze(args):
+    from repro.analysis.hurst import hurst_summary
+    from repro.experiments.fig04_ccdf import run as ccdf_run
+    from repro.experiments.reporting import format_kv, format_table
+
+    trace = _load_or_synthesize(args)
+    print(format_kv(trace.summary("frame").format_rows(), title="Summary (frame):"))
+    result = ccdf_run(trace)
+    hybrid = result["models"]["gamma_pareto"]
+    print(f"\nMarginal: {hybrid}")
+    print("Tail ranking (best first):", ", ".join(result["ranking"]))
+    hs = hurst_summary(trace.frame_bytes)
+    w = hs["whittle"]
+    rows = [
+        ["Variance-Time", f"{hs['variance_time']:.3f}"],
+        ["R/S", f"{hs['rs']:.3f}"],
+        ["R/S aggregated", f"{hs['rs_aggregated']:.3f}"],
+        ["Whittle", f"{w.hurst:.3f} +- {1.96 * w.std_error:.3f}"],
+    ]
+    print()
+    print(format_table(["method", "H"], rows, title="Hurst estimates:"))
+    return 0
+
+
+def _cmd_simulate(args):
+    from repro.simulation.multiplex import multiplex_series, random_lags
+    from repro.simulation.queue import simulate_queue
+
+    trace = _load_or_synthesize(args)
+    x = trace.frame_bytes
+    slot_seconds = 1.0 / trace.frame_rate
+    rng = np.random.default_rng(args.seed)
+    if args.sources > 1:
+        min_sep = min(1000, x.size // (2 * args.sources))
+        lags = random_lags(args.sources, x.size, min_separation=min_sep, rng=rng)
+        arrivals = multiplex_series(x, lags)
+    else:
+        arrivals = x
+    capacity = args.capacity_mbps * 1e6 / 8.0 * slot_seconds  # bytes per slot
+    buffer_bytes = args.buffer_ms / 1000.0 * args.capacity_mbps * 1e6 / 8.0
+    result = simulate_queue(arrivals, capacity, buffer_bytes)
+    print(
+        f"{args.sources} source(s), capacity {args.capacity_mbps:.2f} Mb/s, "
+        f"buffer {buffer_bytes / 1e3:.0f} kB ({args.buffer_ms:g} ms)"
+    )
+    print(f"  offered:  {result.total_bytes / 1e6:.1f} MB")
+    print(f"  lost:     {result.lost_bytes / 1e6:.3f} MB")
+    print(f"  loss rate P_l = {result.loss_rate:.3e}")
+    utilization = arrivals.mean() / capacity
+    print(f"  utilization: {utilization:.2f}")
+    return 0
+
+
+def _cmd_experiments(args):
+    from repro.experiments.runner import run_all, summary_lines
+
+    results = run_all(quick=args.quick)
+    for line in summary_lines(results):
+        print(line)
+    return 0
+
+
+def _cmd_generate(args):
+    from repro.core.model import VBRVideoModel
+    from repro.video.tracefile import save_trace
+
+    trace = _load_or_synthesize(args)
+    model = VBRVideoModel.fit(trace.frame_bytes)
+    print(f"fitted: {model}")
+    synthetic = model.generate_trace(
+        args.frames, rng=np.random.default_rng(args.seed), generator="davies-harte"
+    )
+    save_trace(synthetic, args.out)
+    print(f"wrote {args.frames} generated frames to {args.out}")
+    return 0
+
+
+def _cmd_report(args):
+    from repro.analysis.report import analyze_trace
+
+    trace = _load_or_synthesize(args)
+    print(analyze_trace(trace).format())
+    return 0
+
+
+_COMMANDS = {
+    "synthesize": _cmd_synthesize,
+    "report": _cmd_report,
+    "analyze": _cmd_analyze,
+    "simulate": _cmd_simulate,
+    "experiments": _cmd_experiments,
+    "generate": _cmd_generate,
+}
+
+
+def main(argv=None):
+    """Entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

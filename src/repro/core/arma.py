@@ -1,0 +1,162 @@
+"""ARMA(p, q) processes: the paper's proposed short-range augmentation.
+
+Section 4 of the paper: "An additional set of short-term correlation
+parameters may be included by combining this model with an ARMA filter
+or modulating it with the state of a Markov chain."  This module
+provides the ARMA machinery -- generation, theoretical
+autocovariances, stationarity checks, and Yule-Walker estimation --
+and :mod:`repro.core.composite` combines it with the fractional-noise
+core into the augmented source model.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro._validation import require_positive, require_positive_int
+
+__all__ = ["ARMAProcess", "yule_walker"]
+
+
+class ARMAProcess:
+    """Stationary Gaussian ARMA(p, q) process.
+
+    ``X_t = sum_i ar[i] X_{t-1-i} + eps_t + sum_j ma[j] eps_{t-1-j}``
+    with i.i.d. ``N(0, sigma_eps^2)`` innovations.
+
+    Parameters
+    ----------
+    ar:
+        Autoregressive coefficients ``(phi_1 .. phi_p)``; the
+        polynomial ``1 - phi_1 z - ... - phi_p z^p`` must have all
+        roots outside the unit circle (checked at construction).
+    ma:
+        Moving-average coefficients ``(theta_1 .. theta_q)``.
+    sigma_eps:
+        Innovation standard deviation.
+    """
+
+    def __init__(self, ar=(), ma=(), sigma_eps=1.0):
+        self.ar = np.atleast_1d(np.asarray(ar, dtype=float)) if len(np.atleast_1d(ar)) else np.zeros(0)
+        self.ma = np.atleast_1d(np.asarray(ma, dtype=float)) if len(np.atleast_1d(ma)) else np.zeros(0)
+        self.sigma_eps = require_positive(sigma_eps, "sigma_eps")
+        if self.ar.ndim != 1 or self.ma.ndim != 1:
+            raise ValueError("ar and ma must be one-dimensional coefficient sequences")
+        if self.ar.size and not self.is_stationary(self.ar):
+            raise ValueError("AR polynomial has roots on or inside the unit circle (non-stationary)")
+
+    @staticmethod
+    def is_stationary(ar):
+        """Whether ``1 - phi_1 z - ... - phi_p z^p`` is causal/stationary."""
+        ar = np.atleast_1d(np.asarray(ar, dtype=float))
+        if ar.size == 0:
+            return True
+        # Roots of 1 - phi_1 z - ... - phi_p z^p must lie outside |z|=1,
+        # equivalently the companion matrix has spectral radius < 1.
+        companion = np.zeros((ar.size, ar.size))
+        companion[0, :] = ar
+        if ar.size > 1:
+            companion[1:, :-1] = np.eye(ar.size - 1)
+        return bool(np.max(np.abs(np.linalg.eigvals(companion))) < 1.0)
+
+    @property
+    def order(self):
+        """``(p, q)``."""
+        return (int(self.ar.size), int(self.ma.size))
+
+    # ------------------------------------------------------------------
+    # Second-order structure
+    # ------------------------------------------------------------------
+    def ma_infinity_weights(self, n_weights):
+        """psi-weights of the MA(infinity) representation.
+
+        ``X_t = sum_k psi_k eps_{t-k}`` with ``psi_0 = 1``; computed by
+        the standard recursion ``psi_k = theta_k + sum_i phi_i psi_{k-i}``.
+        """
+        n_weights = require_positive_int(n_weights, "n_weights")
+        psi = np.zeros(n_weights)
+        psi[0] = 1.0
+        for k in range(1, n_weights):
+            value = self.ma[k - 1] if k - 1 < self.ma.size else 0.0
+            for i in range(min(k, self.ar.size)):
+                value += self.ar[i] * psi[k - 1 - i]
+            psi[k] = value
+        return psi
+
+    def acovf(self, n_lags, n_terms=2000):
+        """Autocovariance for lags ``0 .. n_lags`` (via psi-weights).
+
+        ``gamma(h) = sigma_eps^2 sum_k psi_k psi_{k+h}``; the psi series
+        decays geometrically for a stationary model, so ``n_terms``
+        terms give machine-precision results for any reasonable model.
+        """
+        psi = self.ma_infinity_weights(int(n_lags) + n_terms)
+        gamma = np.empty(int(n_lags) + 1)
+        for h in range(int(n_lags) + 1):
+            gamma[h] = np.dot(psi[: psi.size - h], psi[h:])
+        return self.sigma_eps**2 * gamma
+
+    def acf(self, n_lags):
+        """Autocorrelation for lags ``0 .. n_lags``."""
+        gamma = self.acovf(n_lags)
+        return gamma / gamma[0]
+
+    def variance(self):
+        """Stationary marginal variance."""
+        return float(self.acovf(0)[0])
+
+    # ------------------------------------------------------------------
+    # Generation
+    # ------------------------------------------------------------------
+    def generate(self, n, rng=None, burn_in=None):
+        """Generate ``n`` points (after a geometric-mixing burn-in)."""
+        n = require_positive_int(n, "n")
+        if rng is None:
+            rng = np.random.default_rng()
+        if burn_in is None:
+            burn_in = 50 * max(self.ar.size, self.ma.size, 1)
+        total = n + burn_in
+        eps = rng.normal(0.0, self.sigma_eps, size=total)
+        from scipy import signal
+
+        # lfilter implements b/a rational filtering: numerator is the
+        # MA polynomial (1, theta_1, ...), denominator the AR
+        # polynomial (1, -phi_1, ...).
+        b = np.concatenate(([1.0], self.ma))
+        a = np.concatenate(([1.0], -self.ar))
+        x = signal.lfilter(b, a, eps)
+        return x[burn_in:]
+
+    def __repr__(self):
+        return (
+            f"ARMAProcess(ar={self.ar.tolist()}, ma={self.ma.tolist()}, "
+            f"sigma_eps={self.sigma_eps:g})"
+        )
+
+
+def yule_walker(data, order):
+    """Yule-Walker AR(p) estimation from a data series.
+
+    Solves the Toeplitz system built from the sample autocovariances
+    and returns ``(ar_coefficients, innovation_std)``.  This is the
+    classical method for fitting the short-range (AR) component of the
+    augmented model.
+    """
+    from scipy import linalg
+
+    data = np.asarray(data, dtype=float)
+    order = require_positive_int(order, "order")
+    if data.ndim != 1 or data.size <= order + 1:
+        raise ValueError(f"need a 1-D series longer than order+1={order + 1}")
+    x = data - data.mean()
+    n = x.size
+    gamma = np.array([np.dot(x[: n - k], x[k:]) / n for k in range(order + 1)])
+    if gamma[0] <= 0:
+        raise ValueError("series has zero variance")
+    r = gamma[1:] / gamma[0]
+    toeplitz_first = np.concatenate(([1.0], r[:-1]))
+    phi = linalg.solve_toeplitz((toeplitz_first, toeplitz_first), r)
+    sigma2 = gamma[0] * (1.0 - np.dot(phi, r))
+    if sigma2 <= 0:
+        sigma2 = gamma[0] * 1e-6
+    return phi, float(np.sqrt(sigma2))

@@ -1,0 +1,162 @@
+"""SRD-augmented source model (the paper's Section 4 future work).
+
+The plain Garrett-Willinger model captures the marginal distribution
+and the long-range correlation structure; its short-range structure is
+"by default self-similar to the long-term structure".  The paper
+proposes augmenting it "with an ARMA filter or modulating it with the
+state of a Markov chain".  :class:`CompositeVBRModel` implements the
+ARMA variant:
+
+    ``Z_k = w * X_k + sqrt(1 - w^2) * S_k``
+
+where ``X`` is the unit-variance Gaussian LRD process (fARIMA / FGN),
+``S`` is an independent unit-variance Gaussian ARMA(p, q) process, and
+``w`` in (0, 1] balances the two.  ``Z`` keeps the Hurst parameter of
+``X`` (the ARMA part has summable correlations, so it cannot change
+the asymptotics) while its short-lag autocorrelations follow the ARMA
+shape.  The marginal transform (eq. 13) is applied to ``Z`` exactly as
+in the base model.
+
+:meth:`CompositeVBRModel.fit` estimates the ARMA component from the
+data's short-lag residual structure after accounting for the fitted
+LRD component, using Yule-Walker on the Gaussianized series.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro._validation import require_in_open_interval, require_positive_int
+from repro.core.arma import ARMAProcess, yule_walker
+from repro.core.model import VBRVideoModel
+from repro.core.transform import marginal_transform, normal_scores
+from repro.distributions.normal import Normal
+
+__all__ = ["CompositeVBRModel"]
+
+
+class CompositeVBRModel:
+    """VBR video model with explicit short-range (ARMA) structure.
+
+    Parameters
+    ----------
+    base:
+        A fitted :class:`~repro.core.model.VBRVideoModel` providing the
+        marginal distribution and the Hurst parameter.
+    arma:
+        An :class:`~repro.core.arma.ARMAProcess` describing the
+        short-range correlation shape (its ``sigma_eps`` is rescaled
+        internally so the component has unit variance).
+    srd_weight:
+        Weight of the SRD component in the Gaussian mix, in [0, 1):
+        the LRD component gets ``sqrt(1 - srd_weight^2)``.  ``0``
+        reduces to the base model exactly.
+    """
+
+    def __init__(self, base, arma, srd_weight=0.5):
+        if not isinstance(base, VBRVideoModel):
+            raise TypeError("base must be a VBRVideoModel")
+        if not isinstance(arma, ARMAProcess):
+            raise TypeError("arma must be an ARMAProcess")
+        if not 0.0 <= srd_weight < 1.0:
+            raise ValueError(f"srd_weight must lie in [0, 1), got {srd_weight!r}")
+        self.base = base
+        self.arma = arma
+        self.srd_weight = float(srd_weight)
+
+    @classmethod
+    def fit(cls, data, ar_order=2, srd_weight=None, tail_fraction=0.03,
+            hurst_estimator="variance-time", fit_lags=8):
+        """Fit base model + AR(p) short-range structure from data.
+
+        The base model is fitted as usual; the data is then
+        rank-Gaussianized, and an AR(``ar_order``) is fitted to its
+        short-lag structure by Yule-Walker.  When ``srd_weight`` is
+        omitted it is chosen by least squares so the composite's
+        autocorrelation matches the data's over lags ``1..fit_lags``
+        (matching only lag 1 would over-weight the SRD component and
+        lose the hyperbolic tail at moderate lags).  Short lags are
+        where the ARMA augmentation can act; beyond a few dozen lags
+        the hyperbolic LRD term necessarily dominates.
+        """
+        data = np.asarray(data, dtype=float)
+        base = VBRVideoModel.fit(
+            data, tail_fraction=tail_fraction, hurst_estimator=hurst_estimator
+        )
+        z = normal_scores(data)
+        phi, sigma = yule_walker(z, ar_order)
+        if not ARMAProcess.is_stationary(phi):
+            # Shrink toward zero until stationary (rare; heavy LRD can
+            # push Yule-Walker estimates to the boundary).
+            for shrink in (0.95, 0.9, 0.8, 0.5):
+                if ARMAProcess.is_stationary(phi * shrink):
+                    phi = phi * shrink
+                    break
+            else:  # pragma: no cover - AR(p<=3) with |phi|<1 shrunk by 0.5 is stationary
+                phi = np.zeros_like(phi)
+        arma = ARMAProcess(ar=phi, sigma_eps=1.0)
+        if srd_weight is None:
+            # Least-squares mixture weight over lags 1..fit_lags:
+            # r_data ~ w^2 r_arma + (1 - w^2) r_lrd.
+            from repro.analysis.correlation import autocorrelation
+            from repro.core.fractional import farima_acf
+
+            k = max(int(fit_lags), 1)
+            r_data = autocorrelation(z, max_lag=k)[1:]
+            r_lrd = farima_acf(base.hurst - 0.5, k)[1:]
+            r_arma = arma.acf(k)[1:]
+            basis = r_arma - r_lrd
+            denom = float(np.dot(basis, basis))
+            if denom < 1e-12:
+                w2 = 0.0
+            else:
+                w2 = float(np.clip(np.dot(r_data - r_lrd, basis) / denom, 0.0, 0.95))
+            srd_weight = float(np.sqrt(w2))
+        return cls(base, arma, srd_weight=srd_weight)
+
+    @property
+    def parameters(self):
+        """Base parameters plus the ARMA order and weight."""
+        return {
+            "base": self.base.parameters,
+            "ar": self.arma.ar.tolist(),
+            "ma": self.arma.ma.tolist(),
+            "srd_weight": self.srd_weight,
+        }
+
+    def generate_gaussian(self, n, rng=None, generator="davies-harte"):
+        """The mixed Gaussian process (unit variance, Hurst preserved)."""
+        n = require_positive_int(n, "n")
+        if rng is None:
+            rng = np.random.default_rng()
+        lrd = self.base.generate_gaussian(n, rng=rng, generator=generator)
+        if self.srd_weight == 0.0:
+            return lrd
+        srd = self.arma.generate(n, rng=rng)
+        srd_std = np.sqrt(self.arma.variance())
+        srd = srd / srd_std
+        w = self.srd_weight
+        return np.sqrt(1.0 - w * w) * lrd + w * srd
+
+    def generate(self, n, rng=None, generator="davies-harte", method="exact", n_table=10_000):
+        """Generate VBR traffic with LRD, heavy tail AND short-range
+        structure (eq. 13 applied to the mixed Gaussian process)."""
+        z = self.generate_gaussian(n, rng=rng, generator=generator)
+        return marginal_transform(
+            z, self.base.marginal, source=Normal(0.0, 1.0), method=method, n_table=n_table
+        )
+
+    def theoretical_short_acf(self, n_lags):
+        """Autocorrelation of the Gaussian mix for lags 0..n_lags."""
+        from repro.core.fractional import farima_acf
+
+        w2 = self.srd_weight**2
+        return w2 * self.arma.acf(n_lags) + (1.0 - w2) * farima_acf(
+            self.base.hurst - 0.5, n_lags
+        )
+
+    def __repr__(self):
+        return (
+            f"CompositeVBRModel(base={self.base!r}, arma={self.arma!r}, "
+            f"srd_weight={self.srd_weight:.3g})"
+        )

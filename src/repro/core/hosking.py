@@ -1,0 +1,176 @@
+"""Hosking's exact algorithm for fractional ARIMA(0, d, 0) generation.
+
+This is the paper's traffic generator (Section 4.1, eqs. 7-12, adapted
+from Hosking 1984).  The algorithm is a Durbin-Levinson recursion that
+draws each new point from its exact conditional Gaussian distribution
+given the entire past:
+
+    ``N_k   = rho_k - sum_{j=1..k-1} phi_{k-1,j} rho_{k-j}``
+    ``D_k   = D_{k-1} - N_{k-1}^2 / D_{k-1}``
+    ``phi_kk = N_k / D_k``
+    ``phi_kj = phi_{k-1,j} - phi_kk phi_{k-1,k-j}``
+    ``m_k   = sum_{j=1..k} phi_kj X_{k-j}``
+    ``v_k   = (1 - phi_kk^2) v_{k-1}``
+    ``X_k ~ N(m_k, v_k)``
+
+Because every point conditions on every previous point the cost is
+O(n^2) -- the paper reports ~10 hours for 171,000 points on a 1994
+workstation; the vectorized recursion here generates the same length in
+minutes.  For long realizations the O(n log n) Davies-Harte generator
+(:mod:`repro.core.daviesharte`) is the practical alternative.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro._validation import require_positive, require_positive_int
+from repro.core.fractional import d_from_hurst, farima_acf
+
+__all__ = ["HoskingGenerator", "hosking_farima"]
+
+
+class HoskingGenerator:
+    """Exact Gaussian fARIMA(0, d, 0) sample-path generator.
+
+    Parameters
+    ----------
+    hurst:
+        Hurst parameter in (0, 1); the differencing parameter is
+        ``d = hurst - 1/2``.  Pass ``d=...`` instead to specify the
+        differencing parameter directly.
+    variance:
+        Marginal variance ``v_0`` of the process (mean is zero).
+
+    The generator is *streaming*: :meth:`next` extends the current
+    realization one point at a time while :meth:`generate` produces a
+    full path.  The conditional state (partial autocorrelations and the
+    sample history) is retained so paths can be extended incrementally.
+    """
+
+    def __init__(self, hurst=None, d=None, variance=1.0):
+        if (hurst is None) == (d is None):
+            raise ValueError("specify exactly one of hurst= or d=")
+        if hurst is not None:
+            d = d_from_hurst(hurst)
+        else:
+            if not -0.5 < d < 0.5:
+                raise ValueError(f"d must lie in (-1/2, 1/2), got {d!r}")
+        self.d = float(d)
+        self.hurst = self.d + 0.5
+        self.variance = require_positive(variance, "variance")
+        self.reset()
+
+    def reset(self):
+        """Discard the current realization and conditional state."""
+        self._x = []
+        self._phi = np.zeros(0)
+        self._rho = np.ones(1)
+        self._v = self.variance
+        self._n_prev = 0.0
+        self._d_prev = 1.0
+
+    @property
+    def generated(self):
+        """The realization generated so far, as a numpy array."""
+        return np.asarray(self._x, dtype=float)
+
+    def _extend_acf(self, upto):
+        if upto < self._rho.size:
+            return
+        self._rho = farima_acf(self.d, upto)
+
+    def next(self, rng):
+        """Draw the next point of the realization.
+
+        Parameters
+        ----------
+        rng:
+            A :class:`numpy.random.Generator`.
+        """
+        k = len(self._x)
+        if k == 0:
+            x = rng.normal(0.0, np.sqrt(self._v))
+            self._x.append(float(x))
+            return float(x)
+        self._extend_acf(max(k, 2 * len(self._x)))
+        rho = self._rho
+        phi = self._phi
+        # Eq. (7): N_k = rho_k - sum_j phi_{k-1,j} rho_{k-j}.
+        if k == 1:
+            n_k = rho[1]
+        else:
+            n_k = rho[k] - phi[: k - 1] @ rho[k - 1 : 0 : -1]
+        # Eq. (8): D_k = D_{k-1} - N_{k-1}^2 / D_{k-1}.
+        d_k = self._d_prev - self._n_prev**2 / self._d_prev
+        phi_kk = n_k / d_k
+        if not -1.0 < phi_kk < 1.0:
+            raise RuntimeError(
+                f"partial autocorrelation left (-1, 1) at step {k}; numerical breakdown"
+            )
+        # Eq. (10): update the prediction coefficients in place.
+        new_phi = np.empty(k)
+        if k > 1:
+            new_phi[: k - 1] = phi[: k - 1] - phi_kk * phi[k - 2 :: -1]
+        new_phi[k - 1] = phi_kk
+        # Eqs. (11)-(12): conditional mean and variance.
+        hist = np.asarray(self._x[::-1], dtype=float)
+        m_k = new_phi @ hist
+        self._v *= 1.0 - phi_kk**2
+        x = rng.normal(m_k, np.sqrt(self._v))
+        self._phi = new_phi
+        self._n_prev = n_k
+        self._d_prev = d_k
+        self._x.append(float(x))
+        return float(x)
+
+    def generate(self, n, rng=None):
+        """Generate a fresh realization of length ``n``.
+
+        Resets any previous state first; use :meth:`next` for
+        incremental extension.  Cost is O(n^2) time and O(n) memory.
+        """
+        n = require_positive_int(n, "n")
+        if rng is None:
+            rng = np.random.default_rng()
+        self.reset()
+        self._extend_acf(n)
+        rho = self._rho
+        # Local, loop-friendly state (avoids attribute lookups in the
+        # O(n) inner loop; the heavy lifting is numpy dot products).
+        out = np.empty(n)
+        phi = np.empty(n)
+        out[0] = rng.normal(0.0, np.sqrt(self.variance))
+        v = self.variance
+        n_prev, d_prev = 0.0, 1.0
+        noise = rng.standard_normal(n)
+        for k in range(1, n):
+            if k == 1:
+                n_k = rho[1]
+            else:
+                n_k = rho[k] - phi[: k - 1] @ rho[k - 1 : 0 : -1]
+            d_k = d_prev - n_prev * n_prev / d_prev
+            phi_kk = n_k / d_k
+            if k > 1:
+                phi[: k - 1] -= phi_kk * phi[k - 2 :: -1].copy()
+            phi[k - 1] = phi_kk
+            m_k = phi[:k] @ out[k - 1 :: -1]
+            v *= 1.0 - phi_kk * phi_kk
+            if v <= 0:
+                raise RuntimeError(f"conditional variance collapsed at step {k}")
+            out[k] = m_k + np.sqrt(v) * noise[k]
+            n_prev, d_prev = n_k, d_k
+        # Mirror the final state so the streaming API could continue.
+        self._x = out.tolist()
+        self._phi = phi[: n - 1].copy() if n > 1 else np.zeros(0)
+        self._v = v
+        self._n_prev, self._d_prev = n_prev, d_prev
+        return out
+
+    def __repr__(self):
+        return f"HoskingGenerator(hurst={self.hurst:.4g}, variance={self.variance:.4g})"
+
+
+def hosking_farima(n, hurst=0.8, variance=1.0, rng=None):
+    """Convenience wrapper: one fARIMA(0, d, 0) path of length ``n``."""
+    return HoskingGenerator(hurst=hurst, variance=variance).generate(n, rng=rng)

@@ -1,0 +1,147 @@
+"""The classical Markov-modulated fluid video model (Maglaris et al.).
+
+Before the self-similar results, the standard VBR video source model
+was a superposition of ``M`` i.i.d. exponential on/off "minisources":
+each minisource is a two-state continuous-time Markov chain emitting
+``peak_rate`` while on and nothing while off, and the aggregate rate
+approximates the measured first- and second-order statistics of video.
+This is precisely the kind of "commonly used stochastic model for VBR
+video traffic" the paper shows cannot capture long-range dependence:
+its autocorrelation decays exactly exponentially, so queueing analyses
+built on it are "overly optimistic".
+
+:class:`MarkovFluidModel` implements the model (discretized per frame
+slot) with the classical moment-matching fit:
+
+- aggregate mean      ``M p A``        (``p`` = on-probability,
+  ``A`` = per-minisource rate),
+- aggregate variance  ``M p (1-p) A^2``,
+- autocorrelation     ``exp(-n / tau)`` with time constant ``tau``
+  matched to the trace's short-lag ACF decay.
+
+The ablation benchmark shows it matching mean/variance/lag-1 ACF of the
+trace while needing several-fold smaller zero-loss buffers -- the
+failure mode the paper warns about, demonstrated on the very model the
+community used.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro._validation import (
+    as_1d_float_array,
+    require_in_open_interval,
+    require_positive,
+    require_positive_int,
+)
+
+__all__ = ["MarkovFluidModel"]
+
+
+class MarkovFluidModel:
+    """Superposition of exponential on/off minisources (per-slot).
+
+    Parameters
+    ----------
+    n_minisources:
+        Number of independent on/off minisources ``M`` (Maglaris et
+        al. used ~20).
+    on_probability:
+        Stationary probability ``p`` of a minisource being on.
+    rate_per_source:
+        Fluid rate ``A`` emitted by an "on" minisource (bytes/slot).
+    time_constant:
+        Autocorrelation time constant ``tau`` in slots: the aggregate
+        ACF is ``exp(-n / tau)``.
+    """
+
+    name = "markov-fluid"
+
+    def __init__(self, n_minisources, on_probability, rate_per_source, time_constant):
+        self.n_minisources = require_positive_int(n_minisources, "n_minisources")
+        self.on_probability = require_in_open_interval(on_probability, "on_probability", 0.0, 1.0)
+        self.rate_per_source = require_positive(rate_per_source, "rate_per_source")
+        self.time_constant = require_positive(time_constant, "time_constant")
+
+    # ------------------------------------------------------------------
+    # Moments and fitting
+    # ------------------------------------------------------------------
+    def mean(self):
+        """Aggregate mean rate ``M p A``."""
+        return self.n_minisources * self.on_probability * self.rate_per_source
+
+    def var(self):
+        """Aggregate variance ``M p (1 - p) A^2``."""
+        p = self.on_probability
+        return self.n_minisources * p * (1.0 - p) * self.rate_per_source**2
+
+    def acf(self, n_lags):
+        """Theoretical autocorrelation ``exp(-n / tau)``."""
+        n = np.arange(int(n_lags) + 1, dtype=float)
+        return np.exp(-n / self.time_constant)
+
+    @classmethod
+    def fit(cls, data, n_minisources=20, acf_fit_lags=50):
+        """Classical moment-matching fit to a bandwidth series.
+
+        Matches the sample mean and variance exactly (solving for ``p``
+        and ``A`` given ``M``) and the ACF time constant by log-linear
+        regression over the first ``acf_fit_lags`` lags.
+
+        ``p`` solves ``var/mean^2 = (1-p)/(M p)``.
+        """
+        arr = as_1d_float_array(data, "data", min_length=acf_fit_lags + 10)
+        n_minisources = require_positive_int(n_minisources, "n_minisources")
+        mean = float(np.mean(arr))
+        var = float(np.var(arr))
+        if mean <= 0 or var <= 0:
+            raise ValueError("data must have positive mean and variance")
+        # (1-p)/p = M var / mean^2  ->  p = 1 / (1 + M var / mean^2).
+        ratio = n_minisources * var / mean**2
+        p = 1.0 / (1.0 + ratio)
+        rate = mean / (n_minisources * p)
+        from repro.analysis.correlation import autocorrelation, exponential_acf_fit
+
+        acf = autocorrelation(arr, max_lag=acf_fit_lags)
+        rho, _ = exponential_acf_fit(acf, np.arange(1, acf_fit_lags + 1))
+        rho = min(max(rho, 1e-6), 1.0 - 1e-6)
+        tau = -1.0 / np.log(rho)
+        return cls(n_minisources, p, rate, tau)
+
+    # ------------------------------------------------------------------
+    # Generation
+    # ------------------------------------------------------------------
+    def generate(self, n, rng=None):
+        """Generate ``n`` slots of aggregate fluid rate.
+
+        Each minisource is a two-state Markov chain with per-slot
+        transition probabilities chosen so the stationary on-probability
+        is ``p`` and the ACF time constant is ``tau``:
+        ``a = P(off->on) = p (1 - e^{-1/tau})``,
+        ``b = P(on->off) = (1-p)(1 - e^{-1/tau})``.
+        The count of "on" minisources is tracked directly (O(n) per
+        slot overall, not O(n M)): given ``k`` sources on, the next
+        count is ``k - Binomial(k, b) + Binomial(M - k, a)``.
+        """
+        n = require_positive_int(n, "n")
+        if rng is None:
+            rng = np.random.default_rng()
+        decay = np.exp(-1.0 / self.time_constant)
+        a = self.on_probability * (1.0 - decay)
+        b = (1.0 - self.on_probability) * (1.0 - decay)
+        m = self.n_minisources
+        out = np.empty(n)
+        k = int(rng.binomial(m, self.on_probability))
+        for t in range(n):
+            out[t] = k
+            turned_off = rng.binomial(k, b) if k else 0
+            turned_on = rng.binomial(m - k, a) if k < m else 0
+            k = k - turned_off + turned_on
+        return out * self.rate_per_source
+
+    def __repr__(self):
+        return (
+            f"MarkovFluidModel(M={self.n_minisources}, p={self.on_probability:.4g}, "
+            f"A={self.rate_per_source:.6g}, tau={self.time_constant:.4g})"
+        )

@@ -1,0 +1,102 @@
+"""Approximate spectral synthesis of fractional Gaussian noise.
+
+A third generator, complementing Hosking's exact O(n^2) recursion and
+the exact O(n log n) Davies-Harte embedding: Paxson-style spectral
+sampling.  The FGN spectral density is evaluated at the Fourier
+frequencies, each ordinate is multiplied by an independent exponential
+variate (the asymptotic distribution of periodogram ordinates), random
+phases are attached, and one inverse FFT produces the path.
+
+The method is approximate -- the spectral density is itself truncated
+(the exact FGN spectrum is an infinite sum) and sampling the spectrum
+independently ignores the small correlations between ordinates -- but
+it is the cheapest of the three and historically popular for quick
+self-similar workload generation.  The ablation benchmark compares all
+three generators' recovered Hurst parameters.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro._validation import require_in_open_interval, require_positive, require_positive_int
+
+__all__ = ["SpectralGenerator", "fgn_spectral_density", "spectral_fgn"]
+
+
+def fgn_spectral_density(omega, hurst, n_terms=64):
+    """FGN spectral density via the truncated infinite-sum formula.
+
+    ``f(w) = 2 c_H (1 - cos w) sum_{j} |w + 2 pi j|^{-2H-1}`` with the
+    sum truncated symmetrically at ``n_terms`` and the remainder
+    approximated by an integral tail correction (Paxson's recipe).
+    ``c_H = Gamma(2H+1) sin(pi H) / (2 pi)`` normalizes the variance
+    to 1.
+    """
+    from scipy import special
+
+    hurst = require_in_open_interval(hurst, "hurst", 0.0, 1.0)
+    n_terms = require_positive_int(n_terms, "n_terms")
+    omega = np.asarray(omega, dtype=float)
+    if np.any((omega <= 0) | (omega > np.pi)):
+        raise ValueError("omega must lie in (0, pi]")
+    c_h = special.gamma(2 * hurst + 1) * np.sin(np.pi * hurst) / (2 * np.pi)
+    exponent = -(2 * hurst + 1)
+    j = np.arange(-n_terms, n_terms + 1, dtype=float)
+    terms = np.abs(omega[:, None] + 2 * np.pi * j[None, :]) ** exponent
+    core = terms.sum(axis=1)
+    # Integral correction for the truncated tails:
+    # sum_{|j|>n} |w + 2 pi j|^(-2H-1) ~= 2 * (2 pi n)^(-2H) / (4 pi H).
+    tail = (2 * np.pi * n_terms) ** (-2 * hurst) / (2 * np.pi * hurst)
+    return 2.0 * c_h * (1.0 - np.cos(omega)) * (core + tail)
+
+
+class SpectralGenerator:
+    """Approximate O(n log n) FGN generator by spectral sampling."""
+
+    def __init__(self, hurst, variance=1.0):
+        self.hurst = require_in_open_interval(hurst, "hurst", 0.0, 1.0)
+        self.variance = require_positive(variance, "variance")
+        self._cached_n = None
+        self._cached_f = None
+
+    def _density(self, n):
+        if self._cached_n == n:
+            return self._cached_f
+        omega = 2.0 * np.pi * np.arange(1, n // 2 + 1) / n
+        f = fgn_spectral_density(omega, self.hurst)
+        self._cached_n = n
+        self._cached_f = f
+        return f
+
+    def generate(self, n, rng=None):
+        """Generate an approximate FGN path of length ``n`` (even)."""
+        n = require_positive_int(n, "n")
+        if n < 8:
+            raise ValueError("spectral synthesis needs n >= 8")
+        if n % 2:
+            raise ValueError("spectral synthesis needs an even length")
+        if rng is None:
+            rng = np.random.default_rng()
+        f = self._density(n)
+        half = n // 2
+        # Periodogram ordinates are asymptotically f(w) * Exp(1)/...;
+        # attach uniform phases and enforce Hermitian symmetry.
+        power = f * rng.exponential(1.0, size=half)
+        phases = rng.uniform(0.0, 2 * np.pi, size=half)
+        spectrum = np.zeros(n, dtype=complex)
+        amplitudes = np.sqrt(power * np.pi * n)
+        spectrum[1 : half + 1] = amplitudes * np.exp(1j * phases)
+        spectrum[half] = np.abs(spectrum[half])  # Nyquist must be real
+        spectrum[half + 1 :] = np.conj(spectrum[1:half][::-1])
+        x = np.fft.ifft(spectrum).real * np.sqrt(2.0)
+        # Normalize the (approximate) variance to the requested one.
+        return x * np.sqrt(self.variance)
+
+    def __repr__(self):
+        return f"SpectralGenerator(hurst={self.hurst:.4g}, variance={self.variance:.4g})"
+
+
+def spectral_fgn(n, hurst=0.8, variance=1.0, rng=None):
+    """Convenience wrapper: one approximate FGN path of length ``n``."""
+    return SpectralGenerator(hurst, variance=variance).generate(n, rng=rng)

@@ -1,0 +1,64 @@
+"""One module per table and figure of the paper's evaluation.
+
+Every experiment module exposes a ``run(...)`` function returning plain
+data (dicts of numpy arrays and scalars) -- the same rows/series the
+paper's table or figure reports -- plus paper reference values where
+the paper states them, so measured-vs-paper comparison is mechanical.
+``repro.experiments.runner.run_all`` executes the whole suite.
+
+The shared dataset is the calibrated Star-Wars-like trace from
+:mod:`repro.video.starwars` (see DESIGN.md for the substitution
+rationale); pass your own :class:`~repro.video.trace.VBRTrace` (e.g.
+loaded from the original Bellcore file via
+:func:`repro.video.tracefile.load_trace`) to reproduce against real
+data.
+"""
+
+from repro.experiments.data import reference_trace, DEFAULT_SEED
+from repro.experiments import (
+    table1,
+    table2,
+    table3,
+    fig01_timeseries,
+    fig02_lowfreq,
+    fig03_segments,
+    fig04_ccdf,
+    fig05_lefttail,
+    fig06_density,
+    fig07_acf,
+    fig08_periodogram,
+    fig09_confidence,
+    fig10_selfsimilar,
+    fig11_variance_time,
+    fig12_pox,
+    fig13_system,
+    fig14_qc,
+    fig15_smg,
+    fig16_model_vs_trace,
+    fig17_loss_process,
+)
+
+__all__ = [
+    "reference_trace",
+    "DEFAULT_SEED",
+    "table1",
+    "table2",
+    "table3",
+    "fig01_timeseries",
+    "fig02_lowfreq",
+    "fig03_segments",
+    "fig04_ccdf",
+    "fig05_lefttail",
+    "fig06_density",
+    "fig07_acf",
+    "fig08_periodogram",
+    "fig09_confidence",
+    "fig10_selfsimilar",
+    "fig11_variance_time",
+    "fig12_pox",
+    "fig13_system",
+    "fig14_qc",
+    "fig15_smg",
+    "fig16_model_vs_trace",
+    "fig17_loss_process",
+]

@@ -1,0 +1,140 @@
+"""Export experiment results to CSV for external plotting.
+
+matplotlib is not a dependency of this library; instead, every figure
+experiment's series can be written as plain CSV so any plotting tool
+regenerates the paper's figures.  ``export_all(results, outdir)``
+writes one or more files per experiment and returns the file list.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+__all__ = ["write_csv", "export_all"]
+
+
+def write_csv(path, columns):
+    """Write named columns (equal-length 1-D arrays) as CSV.
+
+    ``columns`` is a dict of ``{name: array}``; scalars are broadcast.
+    """
+    if not columns:
+        raise ValueError("columns must not be empty")
+    arrays = {}
+    length = None
+    for name, values in columns.items():
+        arr = np.atleast_1d(np.asarray(values))
+        if arr.ndim != 1:
+            raise ValueError(f"column {name!r} must be one-dimensional")
+        if length is None or arr.size > length:
+            length = arr.size
+        arrays[name] = arr
+    for name, arr in arrays.items():
+        if arr.size == 1 and length > 1:
+            arrays[name] = np.full(length, arr[0])
+        elif arr.size != length:
+            raise ValueError(
+                f"column {name!r} has length {arr.size}, expected {length}"
+            )
+    names = list(arrays)
+    with open(path, "w", encoding="ascii") as handle:
+        handle.write(",".join(names) + "\n")
+        for row in zip(*(arrays[n] for n in names)):
+            handle.write(",".join(repr(v) if isinstance(v, str) else f"{v:.10g}" for v in row) + "\n")
+    return path
+
+
+def export_all(results, outdir):
+    """Write CSVs for every figure in a ``run_all`` results dict.
+
+    Returns the list of written paths.  Unknown/absent experiment keys
+    are skipped, so partial results dicts export cleanly.
+    """
+    os.makedirs(outdir, exist_ok=True)
+    written = []
+
+    def emit(name, columns):
+        written.append(write_csv(os.path.join(outdir, name), columns))
+
+    if "fig01" in results:
+        r = results["fig01"]
+        emit("fig01_timeseries.csv", {
+            "time_minutes": r["time_minutes"], "mean": r["mean"],
+            "low": r["low"], "high": r["high"],
+        })
+    if "fig02" in results:
+        r = results["fig02"]
+        emit("fig02_lowfreq.csv", {
+            "time_minutes": r["time_minutes"], "moving_average": r["moving_average"],
+        })
+    if "fig04" in results:
+        r = results["fig04"]
+        emit("fig04_ccdf.csv", {
+            "x": r["x"], "empirical": r["empirical"], "normal": r["normal"],
+            "gamma": r["gamma"], "lognormal": r["lognormal"],
+            "pareto": r["pareto"], "gamma_pareto": r["gamma_pareto"],
+        })
+    if "fig05" in results:
+        r = results["fig05"]
+        emit("fig05_lefttail.csv", {
+            "x": r["x"], "empirical": r["empirical"], "normal": r["normal"],
+            "gamma": r["gamma"], "lognormal": r["lognormal"],
+            "gamma_pareto": r["gamma_pareto"],
+        })
+    if "fig06" in results:
+        r = results["fig06"]
+        emit("fig06_density.csv", {
+            "x": r["x"], "empirical_density": r["empirical_density"],
+            "model_density": r["model_density"],
+        })
+    if "fig07" in results:
+        r = results["fig07"]
+        emit("fig07_acf.csv", {
+            "lag": r["lags"], "acf": r["acf"], "exponential_fit": r["exp_curve"],
+        })
+    if "fig08" in results:
+        r = results["fig08"]
+        emit("fig08_periodogram.csv", {"omega": r["omega"], "intensity": r["intensity"]})
+    if "fig09" in results:
+        conv = results["fig09"]["convergence"]
+        emit("fig09_confidence.csv", {
+            "n": conv.sample_sizes, "mean": conv.means,
+            "iid_halfwidth": conv.iid_halfwidths, "lrd_halfwidth": conv.lrd_halfwidths,
+        })
+    if "fig11" in results:
+        r = results["fig11"]["result"]
+        emit("fig11_variance_time.csv", {
+            "m": r.m_values, "normalized_variance": r.normalized_variances,
+        })
+    if "fig12" in results:
+        r = results["fig12"]["result"]
+        emit("fig12_pox.csv", {"lag": r.lags, "rs": r.rs_values})
+    if "fig14" in results:
+        for key, curve in results["fig14"]["curves"].items():
+            n, metric, target = key
+            emit(f"fig14_qc_n{n}_{metric}_{target:g}.csv", {
+                "capacity_per_source_mbps": curve.capacity_per_source_mbps,
+                "tmax_ms": curve.tmax_ms,
+                "buffer_bytes": curve.buffer_bytes,
+            })
+    if "fig15" in results:
+        for target, smg in results["fig15"]["curves"].items():
+            emit(f"fig15_smg_{target:g}.csv", {
+                "n_sources": smg["n_sources"],
+                "capacity_per_source_mbps": smg["capacity_per_source_mbps"],
+                "gain_fraction": smg["gain_fraction"],
+            })
+    if "fig16" in results:
+        r = results["fig16"]
+        for n, per_n in r["curves"].items():
+            columns = {"buffer_bytes_per_source": r["buffers_bytes_per_source"]}
+            columns.update(per_n)
+            emit(f"fig16_model_vs_trace_n{n}.csv", columns)
+    if "fig17" in results:
+        for n, p in results["fig17"]["processes"].items():
+            emit(f"fig17_loss_n{n}.csv", {
+                "time_minutes": p["time_minutes"], "loss_rate": p["loss_rate"],
+            })
+    return written

@@ -1,0 +1,108 @@
+"""Extension: peak clipping and CBR-vs-VBR resource comparison.
+
+Grounds two claims from the paper's Conclusions/Introduction in
+numbers:
+
+1. *Peak clipping.*  "A few extremely high peaks exist in the data,
+   which are problematic for the network ... a realistic VBR coder
+   should clip such peaks."  ``run_clipping`` measures how much
+   zero-loss capacity is saved by clipping at a quantile ceiling
+   against how many bytes (quality) the coder must absorb.
+
+2. *CBR vs VBR.*  "Forcing the transmission rate to be constant
+   results in delay, wasted bandwidth ..."  ``run_cbr_comparison``
+   computes the smoothing delay of CBR transport across utilizations
+   and contrasts it with the per-source capacity of statistically
+   multiplexed VBR transport at a matched (small) delay.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments.data import reference_trace
+from repro.simulation.multiplex import multiplex_series, random_lags
+from repro.simulation.queue import zero_loss_capacity
+from repro.video.shaping import cbr_smoothing_delay, clip_peaks
+
+__all__ = ["run_clipping", "run_cbr_comparison"]
+
+
+def run_clipping(trace=None, quantiles=(0.9999, 0.999, 0.99), buffer_ms=10.0, n_frames=60_000):
+    """Zero-loss capacity saved by clipping the trace's extreme peaks.
+
+    For each ceiling quantile: the bytes removed (coder-side quality
+    cost), the zero-loss capacity at a small buffer, and the capacity
+    saving relative to the unclipped trace.
+    """
+    if trace is None:
+        trace = reference_trace()
+    if trace.n_frames > n_frames:
+        trace = trace.segment(0, n_frames)
+    x = trace.frame_bytes
+    slot_seconds = 1.0 / trace.frame_rate
+    buffer_bytes = buffer_ms / 1000.0 * float(np.mean(x)) / slot_seconds
+    baseline = zero_loss_capacity(x, buffer_bytes)
+    rows = []
+    for q in quantiles:
+        clipped = clip_peaks(trace, quantile=q)
+        cap = zero_loss_capacity(clipped.trace.frame_bytes, buffer_bytes)
+        rows.append(
+            {
+                "quantile": float(q),
+                "clipped_frames": clipped.clipped_frames,
+                "clipped_fraction": clipped.clipped_fraction,
+                "capacity": cap,
+                "capacity_saving": 1.0 - cap / baseline,
+            }
+        )
+    return {
+        "baseline_capacity": baseline,
+        "buffer_bytes": buffer_bytes,
+        "rows": rows,
+        "mean_rate": float(np.mean(x)),
+    }
+
+
+def run_cbr_comparison(trace=None, utilizations=(0.6, 0.75, 0.9), n_sources=5, n_frames=60_000, seed=3):
+    """CBR smoothing delay versus multiplexed-VBR capacity.
+
+    For CBR transport at each utilization (mean rate / channel rate),
+    the worst-case coder smoothing delay is computed exactly; for VBR,
+    the per-source zero-loss capacity of ``n_sources`` multiplexed
+    streams with only ~10 ms of network buffering.  The paper's
+    motivating trade-off in one table: CBR pays seconds of delay for
+    high utilization, multiplexed VBR reaches comparable utilization
+    with milliseconds of buffering.
+    """
+    if trace is None:
+        trace = reference_trace()
+    if trace.n_frames > n_frames:
+        trace = trace.segment(0, n_frames)
+    x = trace.frame_bytes
+    slot_seconds = 1.0 / trace.frame_rate
+    mean_rate = float(np.mean(x))
+    cbr_rows = []
+    for u in utilizations:
+        rate = mean_rate / u
+        result = cbr_smoothing_delay(x, rate, slot_seconds)
+        cbr_rows.append(
+            {
+                "utilization": float(u),
+                "rate": rate,
+                "delay_seconds": result["max_delay_seconds"],
+            }
+        )
+    rng = np.random.default_rng(seed)
+    min_sep = min(1000, trace.n_frames // (2 * n_sources))
+    lags = random_lags(n_sources, x.size, min_separation=min_sep, rng=rng)
+    arrivals = multiplex_series(x, lags)
+    buffer_bytes = 0.010 * arrivals.mean() / slot_seconds  # ~10 ms
+    c_total = zero_loss_capacity(arrivals, buffer_bytes)
+    vbr = {
+        "n_sources": int(n_sources),
+        "capacity_per_source": c_total / n_sources,
+        "utilization": mean_rate / (c_total / n_sources),
+        "buffer_delay_seconds": 0.010,
+    }
+    return {"cbr": cbr_rows, "vbr": vbr, "mean_rate": mean_rate}

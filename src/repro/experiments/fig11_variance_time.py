@@ -1,0 +1,34 @@
+"""Fig. 11: variance-time plot for the VBR video trace.
+
+``Var(X^(m)) / Var(X)`` against ``m`` on log-log axes; the asymptotic
+slope ``-beta`` gives ``H = 1 - beta/2 ~= 0.78`` for the paper's trace,
+visibly shallower than the ``-1`` slope of an SRD process.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.hurst import variance_time
+from repro.experiments.data import reference_trace
+
+__all__ = ["run", "PAPER_HURST"]
+
+PAPER_HURST = 0.78
+"""The paper's variance-time estimate of H."""
+
+
+def run(trace=None, **kwargs):
+    """Variance-time analysis of the frame series.
+
+    Returns the :class:`~repro.analysis.hurst.VarianceTimeResult` in a
+    dict together with the SRD reference slope and the paper's value.
+    """
+    if trace is None:
+        trace = reference_trace()
+    result = variance_time(trace.frame_bytes, **kwargs)
+    return {
+        "result": result,
+        "hurst": result.hurst,
+        "beta": result.beta,
+        "srd_reference_slope": -1.0,
+        "paper_hurst": PAPER_HURST,
+    }

@@ -1,0 +1,45 @@
+"""Plain-text table formatting for experiment results.
+
+Experiments return data; these helpers render it the way the paper's
+tables read, for the examples and for EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+__all__ = ["format_table", "format_kv"]
+
+
+def format_table(headers, rows, title=None):
+    """Render a list-of-rows table with aligned columns.
+
+    ``headers`` is a sequence of column names; each row is a sequence of
+    values (converted with ``str``).  Returns a multi-line string.
+    """
+    headers = [str(h) for h in headers]
+    str_rows = [[str(cell) for cell in row] for row in rows]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells but there are {len(headers)} headers"
+            )
+    widths = [
+        max(len(headers[i]), *(len(row[i]) for row in str_rows)) if str_rows else len(headers[i])
+        for i in range(len(headers))
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append("  ".join(cell.ljust(w) for cell, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_kv(pairs, title=None):
+    """Render ``(label, value)`` pairs as aligned lines."""
+    pairs = [(str(k), str(v)) for k, v in pairs]
+    width = max((len(k) for k, _ in pairs), default=0)
+    lines = [title] if title else []
+    lines.extend(f"{k.ljust(width)}  {v}" for k, v in pairs)
+    return "\n".join(lines)

@@ -1,0 +1,174 @@
+"""Run the complete experiment suite and summarize measured vs paper.
+
+``run_all`` executes every table/figure experiment (optionally at
+reduced scale) and returns a dict of results;
+``summary_lines`` renders the one-line-per-experiment comparison used
+by EXPERIMENTS.md and the examples.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments import (
+    fig01_timeseries,
+    fig02_lowfreq,
+    fig03_segments,
+    fig04_ccdf,
+    fig05_lefttail,
+    fig06_density,
+    fig07_acf,
+    fig08_periodogram,
+    fig09_confidence,
+    fig10_selfsimilar,
+    fig11_variance_time,
+    fig12_pox,
+    fig13_system,
+    fig14_qc,
+    fig15_smg,
+    fig16_model_vs_trace,
+    fig17_loss_process,
+    table1,
+    table2,
+    table3,
+)
+from repro.experiments.data import reference_trace
+
+__all__ = ["run_all", "summary_lines"]
+
+
+def run_all(trace=None, quick=False, sim_frames=None):
+    """Execute every experiment; returns ``{experiment_id: result}``.
+
+    ``quick=True`` truncates the trace to 40,000 frames and shrinks the
+    simulation workloads, for smoke runs; the default runs analysis
+    experiments on the full two-hour trace and simulations on 60,000
+    frames (override with ``sim_frames``).
+    """
+    if trace is None:
+        trace = reference_trace(n_frames=40_000 if quick else 171_000)
+    if sim_frames is None:
+        sim_frames = 20_000 if quick else 60_000
+    results = {}
+    results["table1"] = table1.run(trace)
+    results["table1_codec"] = table1.run_codec(n_frames=8 if quick else 48)
+    results["table2"] = table2.run(trace)
+    results["table3"] = table3.run(trace)
+    results["fig01"] = fig01_timeseries.run(trace)
+    results["fig02"] = fig02_lowfreq.run(trace)
+    results["fig03"] = fig03_segments.run(trace)
+    results["fig04"] = fig04_ccdf.run(trace)
+    results["fig05"] = fig05_lefttail.run(trace)
+    results["fig06"] = fig06_density.run(trace)
+    results["fig07"] = fig07_acf.run(trace)
+    results["fig08"] = fig08_periodogram.run(trace)
+    results["fig09"] = fig09_confidence.run(trace)
+    results["fig10"] = fig10_selfsimilar.run(trace)
+    results["fig11"] = fig11_variance_time.run(trace)
+    results["fig12"] = fig12_pox.run(trace)
+    results["fig13"] = fig13_system.run(trace, n_frames=min(sim_frames, 20_000))
+    results["fig14"] = fig14_qc.run(
+        trace,
+        n_frames=sim_frames,
+        specs=(("overall", 0.0), ("overall", 1e-4), ("wes", 1e-3)) if quick else fig14_qc.DEFAULT_SPECS,
+        n_points=6 if quick else 10,
+    )
+    results["fig15"] = fig15_smg.run(
+        trace,
+        n_frames=sim_frames,
+        loss_targets=(0.0, 1e-3) if quick else (0.0, 1e-4, 1e-3),
+    )
+    results["fig16"] = fig16_model_vs_trace.run(trace, n_frames=sim_frames, n_buffers=6 if quick else 10)
+    results["fig17"] = fig17_loss_process.run(trace, n_frames=sim_frames)
+    return results
+
+
+def summary_lines(results):
+    """One human-readable comparison line per experiment."""
+    lines = []
+    t1 = results["table1"]
+    lines.append(
+        f"Table 1: avg bandwidth {t1['avg_bandwidth_mbps']:.2f} Mb/s "
+        f"(paper {t1['paper']['avg_bandwidth_mbps']:.2f}); compression ratio "
+        f"{t1['avg_compression_ratio']:.2f} (paper {t1['paper']['avg_compression_ratio']:.2f})"
+    )
+    t2 = results["table2"]
+    fr, pf = t2["frame"], t2["paper"]["frame"]
+    lines.append(
+        f"Table 2 (frame): mean {fr.mean:.0f} (paper {pf['mean']:.0f}), "
+        f"std {fr.std:.0f} (paper {pf['std']:.0f}), peak/mean {fr.peak_to_mean:.2f} "
+        f"(paper {pf['peak_to_mean']:.2f})"
+    )
+    sl, ps = t2["slice"], t2["paper"]["slice"]
+    lines.append(
+        f"Table 2 (slice): mean {sl.mean:.0f} (paper {ps['mean']:.0f}), "
+        f"CoV {sl.coefficient_of_variation:.2f} (paper {ps['coefficient_of_variation']:.2f})"
+    )
+    t3 = results["table3"]
+    lines.append(
+        f"Table 3: VT H={t3['variance_time']:.2f} (paper 0.78), R/S H={t3['rs']:.2f} "
+        f"(paper 0.83), Whittle H={t3['whittle'].hurst:.2f}±{1.96 * t3['whittle'].std_error:.2f} "
+        f"(paper 0.80±0.088)"
+    )
+    lines.append(
+        f"Fig 2: moving-average relative excursion {results['fig02']['relative_excursion']:.2f}, "
+        f"arc correlation {results['fig02']['arc_correlation']:.2f}"
+    )
+    lines.append(
+        f"Fig 3: segment means deviate {np.max(results['fig03']['mean_deviation_sigmas']):.0f} "
+        f"i.i.d. sigmas from global mean (i.i.d. bound ~2)"
+    )
+    dev = results["fig04"]["tail_deviation"]
+    lines.append(
+        "Fig 4: tail log-deviation pareto={pareto:.2f} < gamma={gamma:.2f} < "
+        "lognormal={lognormal:.2f}, normal={normal:.2f}".format(**dev)
+    )
+    lines.append(
+        f"Fig 5: left-tail gamma deviation {results['fig05']['left_tail_deviation']['gamma']:.3f} "
+        f"(adequate fit, as in paper)"
+    )
+    lines.append(f"Fig 6: density L1 discrepancy {results['fig06']['l1_discrepancy']:.3f}")
+    f7 = results["fig07"]
+    lines.append(
+        f"Fig 7: ACF exponential fit rho={f7['rho']:.3f} holds only at short lags; measured "
+        f"ACF exceeds exponential extrapolation by x{f7['exp_underestimates_tail']:.0f} at lag 3000"
+    )
+    f8 = results["fig08"]
+    lines.append(f"Fig 8: periodogram low-frequency alpha={f8['alpha']:.2f} -> H={f8['hurst']:.2f}")
+    f9 = results["fig09"]
+    lines.append(
+        f"Fig 9: i.i.d. CI coverage {f9['iid_coverage']:.2f} vs LRD coverage {f9['lrd_coverage']:.2f}"
+    )
+    f10 = results["fig10"]["levels"]
+    sig = {m: v["significant_lags"] for m, v in f10.items()}
+    lines.append(f"Fig 10: significant ACF lags after aggregation {sig} (SRD would give ~0-1)")
+    lines.append(
+        f"Fig 11: variance-time H={results['fig11']['hurst']:.2f} (paper 0.78)"
+    )
+    lines.append(f"Fig 12: R/S pox H={results['fig12']['hurst']:.2f} (paper 0.83)")
+    knees = results["fig14"]["knees"]
+    some_key = next(iter(knees))
+    lines.append(
+        f"Fig 14: {len(results['fig14']['curves'])} Q-C curves computed; e.g. knee of "
+        f"{some_key}: C/N={knees[some_key][0]:.1f} Mb/s at T_max={knees[some_key][1]:.2f} ms"
+    )
+    f15 = results["fig15"]
+    lines.append(
+        f"Fig 15: gain at N=5 = {f15['mean_gain_at_5']:.2f} (paper {f15['paper_gain_at_5']:.2f})"
+    )
+    f16 = results["fig16"]
+    n_max = max(f16["offsets"])
+    n_min = min(f16["offsets"])
+    lines.append(
+        f"Fig 16: capacity offsets vs trace at N={n_min}: "
+        + ", ".join(f"{k}={v:.3f}" for k, v in sorted(f16["offsets"][n_min].items()))
+        + f"; at N={n_max}: "
+        + ", ".join(f"{k}={v:.3f}" for k, v in sorted(f16["offsets"][n_max].items()))
+    )
+    f17 = results["fig17"]["processes"]
+    lines.append(
+        "Fig 17: loss concentration "
+        + ", ".join(f"N={n}: {v['concentration']:.2f}" for n, v in sorted(f17.items()))
+        + " (same overall loss, very different error processes)"
+    )
+    return lines

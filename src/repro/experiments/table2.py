@@ -1,0 +1,44 @@
+"""Table 2: statistics of the VBR video trace (frame and slice)."""
+
+from __future__ import annotations
+
+from repro.experiments.data import reference_trace
+
+__all__ = ["run", "PAPER"]
+
+PAPER = {
+    "frame": {
+        "time_unit_ms": 41.67,
+        "mean": 27_791.0,
+        "std": 6_254.0,
+        "coefficient_of_variation": 0.23,
+        "maximum": 78_459.0,
+        "minimum": 8_622.0,
+        "peak_to_mean": 2.82,
+    },
+    "slice": {
+        "time_unit_ms": 1.389,
+        "mean": 926.4,
+        "std": 289.5,
+        "coefficient_of_variation": 0.31,
+        "maximum": 3_668.0,
+        "minimum": 257.0,
+        "peak_to_mean": 3.96,
+    },
+}
+"""The paper's Table 2 (bytes per time unit)."""
+
+
+def run(trace=None):
+    """Measured Table 2 for both resolutions, with paper references.
+
+    Returns ``{"frame": TraceSummary, "slice": TraceSummary,
+    "paper": PAPER}``.
+    """
+    if trace is None:
+        trace = reference_trace()
+    return {
+        "frame": trace.summary("frame"),
+        "slice": trace.summary("slice"),
+        "paper": PAPER,
+    }

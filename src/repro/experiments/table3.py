@@ -1,0 +1,31 @@
+"""Table 3: estimates of the Hurst parameter H from all methods."""
+
+from __future__ import annotations
+
+from repro.analysis.hurst import hurst_summary
+from repro.experiments.data import reference_trace
+
+__all__ = ["run", "PAPER"]
+
+PAPER = {
+    "variance_time": 0.78,
+    "rs": 0.83,
+    "rs_aggregated": 0.78,
+    "rs_varied": (0.81, 0.83),
+    "whittle": 0.80,
+    "whittle_ci_halfwidth": 0.088,
+}
+"""The paper's Table 3 estimates."""
+
+
+def run(trace=None, whittle_m=None):
+    """All Hurst estimates for the (frame-level) trace.
+
+    Returns the dict of :func:`repro.analysis.hurst.hurst_summary`
+    plus the paper's reference values under ``"paper"``.
+    """
+    if trace is None:
+        trace = reference_trace()
+    result = hurst_summary(trace.frame_bytes, whittle_m=whittle_m)
+    result["paper"] = PAPER
+    return result

@@ -1,0 +1,67 @@
+"""Loss-process metrics (Sections 5.1 and 5.3 of the paper).
+
+Besides the overall loss rate ``P_l``, the paper evaluates the loss
+rate in the *worst errored second* (``P_l_WES``) -- more sensitive to
+loss events localized in time -- and, for Fig. 17, the running-average
+loss rate over a 1,000-frame window, which exposes how differently two
+systems with identical ``P_l`` can distribute their losses.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro._validation import as_1d_float_array, require_positive_int
+
+__all__ = ["worst_errored_second_loss", "windowed_loss_rate"]
+
+
+def worst_errored_second_loss(loss_series, arrival_series, slots_per_second):
+    """Loss rate of the worst errored second, ``P_l_WES``.
+
+    Slots are grouped into consecutive seconds (``slots_per_second``
+    slots each; a trailing partial second is dropped); each second's
+    loss rate is its lost bytes over its offered bytes, and the worst
+    one is returned.  Seconds with no offered traffic are skipped.
+    """
+    loss = as_1d_float_array(loss_series, "loss_series")
+    arrivals = as_1d_float_array(arrival_series, "arrival_series")
+    if loss.size != arrivals.size:
+        raise ValueError(
+            f"loss_series and arrival_series must have equal length, "
+            f"got {loss.size} and {arrivals.size}"
+        )
+    k = require_positive_int(slots_per_second, "slots_per_second")
+    n_seconds = loss.size // k
+    if n_seconds == 0:
+        raise ValueError(f"series shorter than one second ({k} slots)")
+    loss_per_sec = loss[: n_seconds * k].reshape(n_seconds, k).sum(axis=1)
+    offered_per_sec = arrivals[: n_seconds * k].reshape(n_seconds, k).sum(axis=1)
+    valid = offered_per_sec > 0
+    if not np.any(valid):
+        return 0.0
+    return float(np.max(loss_per_sec[valid] / offered_per_sec[valid]))
+
+
+def windowed_loss_rate(loss_series, arrival_series, window):
+    """Running-average loss rate over a sliding window (Fig. 17).
+
+    Returns ``(centers, rates)`` where ``rates[i]`` is the lost-to-
+    offered byte ratio over the window starting at slot ``i`` and
+    ``centers`` are the window-center positions.  Windows with no
+    offered traffic report a rate of zero.
+    """
+    loss = as_1d_float_array(loss_series, "loss_series")
+    arrivals = as_1d_float_array(arrival_series, "arrival_series")
+    if loss.size != arrivals.size:
+        raise ValueError("loss_series and arrival_series must have equal length")
+    window = require_positive_int(window, "window")
+    if window > loss.size:
+        raise ValueError(f"window ({window}) exceeds series length ({loss.size})")
+    csum_loss = np.concatenate(([0.0], np.cumsum(loss)))
+    csum_arr = np.concatenate(([0.0], np.cumsum(arrivals)))
+    win_loss = csum_loss[window:] - csum_loss[:-window]
+    win_arr = csum_arr[window:] - csum_arr[:-window]
+    rates = np.divide(win_loss, win_arr, out=np.zeros_like(win_loss), where=win_arr > 0)
+    centers = np.arange(loss.size - window + 1) + (window - 1) / 2.0
+    return centers, rates

@@ -1,0 +1,132 @@
+"""Two-priority finite-buffer queue for layered video transport.
+
+Implements the "layered coding with a priority queueing discipline"
+referenced in Section 5.3: base-layer (high-priority) traffic is served
+first, and under buffer pressure enhancement-layer (low-priority) bytes
+are pushed out before any base-layer byte is dropped.
+
+Per slot ``t``, with high/low arrivals ``(h_t, l_t)``, capacity ``c``
+and shared buffer ``Q``:
+
+1. arrivals join their backlogs;
+2. the server drains up to ``c`` bytes, high priority first;
+3. if the remaining total backlog exceeds ``Q``, low-priority bytes
+   are dropped first (pushout), then high-priority bytes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro._validation import as_1d_float_array, require_nonnegative, require_positive
+
+__all__ = ["PriorityQueueResult", "simulate_priority_queue"]
+
+
+@dataclass(frozen=True)
+class PriorityQueueResult:
+    """Outcome of one two-priority simulation."""
+
+    capacity_per_slot: float
+    """Service capacity in bytes per slot."""
+
+    buffer_bytes: float
+    """Shared buffer size in bytes."""
+
+    high_offered: float
+    """Total high-priority (base-layer) bytes offered."""
+
+    low_offered: float
+    """Total low-priority (enhancement) bytes offered."""
+
+    high_lost: float
+    """High-priority bytes dropped."""
+
+    low_lost: float
+    """Low-priority bytes dropped."""
+
+    high_loss_series: np.ndarray = field(repr=False, default=None)
+    """Per-slot high-priority losses (when requested)."""
+
+    low_loss_series: np.ndarray = field(repr=False, default=None)
+    """Per-slot low-priority losses (when requested)."""
+
+    @property
+    def high_loss_rate(self):
+        """Base-layer byte loss rate."""
+        return self.high_lost / self.high_offered if self.high_offered > 0 else 0.0
+
+    @property
+    def low_loss_rate(self):
+        """Enhancement-layer byte loss rate."""
+        return self.low_lost / self.low_offered if self.low_offered > 0 else 0.0
+
+    @property
+    def overall_loss_rate(self):
+        """Loss rate over both layers combined."""
+        total = self.high_offered + self.low_offered
+        return (self.high_lost + self.low_lost) / total if total > 0 else 0.0
+
+
+def simulate_priority_queue(
+    high_arrivals, low_arrivals, capacity_per_slot, buffer_bytes, return_series=False
+):
+    """Run the two-priority finite-buffer queue.
+
+    ``high_arrivals`` and ``low_arrivals`` are equal-length series of
+    bytes per slot.  Returns a :class:`PriorityQueueResult`.
+    """
+    h = as_1d_float_array(high_arrivals, "high_arrivals")
+    low = as_1d_float_array(low_arrivals, "low_arrivals")
+    if h.size != low.size:
+        raise ValueError(
+            f"high and low arrival series must have equal length, got {h.size} and {low.size}"
+        )
+    if np.any(h < 0) or np.any(low < 0):
+        raise ValueError("arrivals must be non-negative")
+    c = require_positive(capacity_per_slot, "capacity_per_slot")
+    q = require_nonnegative(buffer_bytes, "buffer_bytes")
+    hi_series = np.zeros(h.size) if return_series else None
+    lo_series = np.zeros(h.size) if return_series else None
+    backlog_hi = 0.0
+    backlog_lo = 0.0
+    lost_hi = 0.0
+    lost_lo = 0.0
+    hs = h.tolist()
+    ls = low.tolist()
+    for t in range(len(hs)):
+        backlog_hi += hs[t]
+        backlog_lo += ls[t]
+        # Strict-priority service: high first.
+        served_hi = backlog_hi if backlog_hi < c else c
+        backlog_hi -= served_hi
+        remaining = c - served_hi
+        if remaining > 0.0:
+            served_lo = backlog_lo if backlog_lo < remaining else remaining
+            backlog_lo -= served_lo
+        # Pushout: drop low first, then high.
+        overflow = backlog_hi + backlog_lo - q
+        if overflow > 0.0:
+            drop_lo = backlog_lo if backlog_lo < overflow else overflow
+            backlog_lo -= drop_lo
+            lost_lo += drop_lo
+            overflow -= drop_lo
+            if overflow > 0.0:
+                backlog_hi -= overflow
+                lost_hi += overflow
+                if return_series:
+                    hi_series[t] = overflow
+            if return_series:
+                lo_series[t] = drop_lo
+    return PriorityQueueResult(
+        capacity_per_slot=c,
+        buffer_bytes=q,
+        high_offered=float(h.sum()),
+        low_offered=float(low.sum()),
+        high_lost=lost_hi,
+        low_lost=lost_lo,
+        high_loss_series=hi_series,
+        low_loss_series=lo_series,
+    )

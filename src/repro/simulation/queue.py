@@ -1,0 +1,170 @@
+"""Finite-buffer FIFO queue simulation.
+
+The queue is simulated at the granularity of the trace's time slots
+(frame or slice) with fluid arrivals: during slot ``t`` the source
+deposits ``a_t`` bytes, the server drains ``c`` bytes, and whatever
+exceeds the buffer ``Q`` is lost:
+
+    ``lost_t = max(0, b_{t-1} + a_t - c - Q)``
+    ``b_t    = min(max(b_{t-1} + a_t - c, 0), Q)``
+
+The paper verifies (in the long version) that uniform versus random
+cell spacing inside a slot barely affects the results, so the fluid
+model at slice granularity preserves the Q-C behaviour.
+
+For the *zero-loss* requirement an exact O(n) analysis is available:
+the buffer never overflows iff the maximum drawdown of the net-input
+random walk is at most ``Q`` (:func:`max_backlog`), which turns the
+zero-loss capacity search into a fast vectorized bisection.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro._validation import as_1d_float_array, require_nonnegative, require_positive
+
+__all__ = ["QueueResult", "simulate_queue", "max_backlog", "zero_loss_capacity"]
+
+
+@dataclass(frozen=True)
+class QueueResult:
+    """Outcome of one finite-buffer FIFO simulation."""
+
+    capacity_per_slot: float
+    """Service capacity in bytes per slot."""
+
+    buffer_bytes: float
+    """Buffer size ``Q`` in bytes."""
+
+    total_bytes: float
+    """Total bytes offered by the sources."""
+
+    lost_bytes: float
+    """Total bytes lost to buffer overflow."""
+
+    final_backlog: float
+    """Bytes left in the buffer at the end of the run."""
+
+    peak_backlog: float
+    """Largest backlog observed (capped at ``Q``)."""
+
+    loss_series: np.ndarray = field(repr=False, default=None)
+    """Per-slot lost bytes (only when requested)."""
+
+    @property
+    def loss_rate(self):
+        """Overall byte loss rate ``P_l``."""
+        if self.total_bytes <= 0:
+            return 0.0
+        return self.lost_bytes / self.total_bytes
+
+
+def simulate_queue(arrivals, capacity_per_slot, buffer_bytes, return_series=False):
+    """Run the finite-buffer FIFO queue over one arrival series.
+
+    Parameters
+    ----------
+    arrivals:
+        Bytes arriving in each slot (aggregate over all sources).
+    capacity_per_slot:
+        Service capacity in bytes per slot.
+    buffer_bytes:
+        Buffer size ``Q`` in bytes (0 gives a bufferless multiplexer).
+    return_series:
+        Also record per-slot lost bytes (needed for the worst-errored-
+        second and windowed-loss metrics).
+
+    Returns a :class:`QueueResult`.
+    """
+    a = as_1d_float_array(arrivals, "arrivals")
+    if np.any(a < 0):
+        raise ValueError("arrivals must be non-negative")
+    c = require_positive(capacity_per_slot, "capacity_per_slot")
+    q = require_nonnegative(buffer_bytes, "buffer_bytes")
+    loss_series = np.zeros(a.size) if return_series else None
+    backlog = 0.0
+    lost = 0.0
+    peak = 0.0
+    # Tight scalar loop; numpy arrays are indexed through a list for
+    # speed (Python-level float ops beat per-element ndarray access).
+    values = a.tolist()
+    if return_series:
+        for t, arrival in enumerate(values):
+            backlog += arrival - c
+            if backlog > q:
+                overflow = backlog - q
+                lost += overflow
+                loss_series[t] = overflow
+                backlog = q
+            elif backlog < 0.0:
+                backlog = 0.0
+            if backlog > peak:
+                peak = backlog
+    else:
+        for arrival in values:
+            backlog += arrival - c
+            if backlog > q:
+                lost += backlog - q
+                backlog = q
+            elif backlog < 0.0:
+                backlog = 0.0
+            if backlog > peak:
+                peak = backlog
+    return QueueResult(
+        capacity_per_slot=c,
+        buffer_bytes=q,
+        total_bytes=float(a.sum()),
+        lost_bytes=lost,
+        final_backlog=backlog,
+        peak_backlog=peak,
+        loss_series=loss_series,
+    )
+
+
+def max_backlog(arrivals, capacity_per_slot):
+    """Largest backlog of the *infinite*-buffer queue (vectorized O(n)).
+
+    Equals the maximum drawdown of the net-input walk
+    ``S_t = sum_{u<=t} (a_u - c)``: ``max_t (S_t - min(0, min_{u<=t} S_u))``.
+    The finite-buffer queue with ``Q >= max_backlog`` loses nothing, so
+    this is the exact zero-loss buffer requirement at capacity ``c``.
+    """
+    a = as_1d_float_array(arrivals, "arrivals")
+    c = require_positive(capacity_per_slot, "capacity_per_slot")
+    s = np.cumsum(a - c)
+    running_min = np.minimum(np.minimum.accumulate(s), 0.0)
+    return float(np.max(s - running_min, initial=0.0))
+
+
+def zero_loss_capacity(arrivals, buffer_bytes, rel_tol=1e-4):
+    """Smallest capacity (bytes/slot) with zero loss at buffer ``Q``.
+
+    Bisection on :func:`max_backlog`, which is monotone non-increasing
+    in the capacity.  The search runs between the mean rate (below
+    which the queue is unstable) and the peak slot arrival (at which a
+    single slot can never overflow an empty buffer, hence zero loss for
+    any ``Q >= 0``).
+    """
+    a = as_1d_float_array(arrivals, "arrivals")
+    q = require_nonnegative(buffer_bytes, "buffer_bytes")
+    lo = float(np.mean(a))
+    hi = float(np.max(a))
+    if lo <= 0:
+        raise ValueError("arrivals must have positive mean")
+    if max_backlog(a, hi) <= q:
+        # Tighten from the peak downwards.
+        pass
+    else:  # pragma: no cover - peak capacity always achieves zero loss
+        raise RuntimeError("peak capacity fails to achieve zero loss")
+    if max_backlog(a, lo) <= q:
+        return lo
+    while (hi - lo) > rel_tol * hi:
+        mid = 0.5 * (lo + hi)
+        if max_backlog(a, mid) <= q:
+            hi = mid
+        else:
+            lo = mid
+    return hi

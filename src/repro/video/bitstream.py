@@ -1,0 +1,79 @@
+"""Bit-level I/O used by the entropy coder.
+
+:class:`BitWriter` accumulates individual bits / fixed-width fields and
+packs them MSB-first into bytes; :class:`BitReader` reads them back.
+The codec uses these to produce an actual decodable bitstream, so the
+byte counts the trace reports are the byte counts a real transport
+would carry.
+"""
+
+from __future__ import annotations
+
+__all__ = ["BitWriter", "BitReader"]
+
+
+class BitWriter:
+    """Accumulate bits MSB-first and pack them into ``bytes``."""
+
+    def __init__(self):
+        self._buffer = bytearray()
+        self._current = 0
+        self._n_bits = 0
+
+    def write_bits(self, value, n_bits):
+        """Append the ``n_bits`` least-significant bits of ``value``."""
+        if n_bits < 0:
+            raise ValueError(f"n_bits must be >= 0, got {n_bits}")
+        if n_bits == 0:
+            return
+        if value < 0 or value >= (1 << n_bits):
+            raise ValueError(f"value {value} does not fit in {n_bits} bits")
+        for shift in range(n_bits - 1, -1, -1):
+            self._current = (self._current << 1) | ((value >> shift) & 1)
+            self._n_bits += 1
+            if self._n_bits == 8:
+                self._buffer.append(self._current)
+                self._current = 0
+                self._n_bits = 0
+
+    @property
+    def bit_length(self):
+        """Total number of bits written so far."""
+        return len(self._buffer) * 8 + self._n_bits
+
+    def getvalue(self):
+        """The packed bytes, zero-padded to a byte boundary."""
+        out = bytearray(self._buffer)
+        if self._n_bits:
+            out.append(self._current << (8 - self._n_bits))
+        return bytes(out)
+
+
+class BitReader:
+    """Read bits MSB-first from a ``bytes`` object."""
+
+    def __init__(self, data):
+        self._data = bytes(data)
+        self._pos = 0
+
+    @property
+    def bits_remaining(self):
+        """Number of unread bits left in the stream."""
+        return len(self._data) * 8 - self._pos
+
+    def read_bit(self):
+        """Read a single bit; raises ``EOFError`` at end of stream."""
+        byte_index, bit_index = divmod(self._pos, 8)
+        if byte_index >= len(self._data):
+            raise EOFError("attempted to read past the end of the bitstream")
+        self._pos += 1
+        return (self._data[byte_index] >> (7 - bit_index)) & 1
+
+    def read_bits(self, n_bits):
+        """Read ``n_bits`` bits as an unsigned integer (MSB-first)."""
+        if n_bits < 0:
+            raise ValueError(f"n_bits must be >= 0, got {n_bits}")
+        value = 0
+        for _ in range(n_bits):
+            value = (value << 1) | self.read_bit()
+        return value

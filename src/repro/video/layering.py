@@ -1,0 +1,144 @@
+"""Layered (two-priority) video coding.
+
+The paper's Section 5.3 and its companion work [GARR93] argue that
+packet-loss degradation should be handled with *layered* coding plus a
+priority queueing discipline: a base layer carrying the essential
+picture (protected by the network) and an enhancement layer that may be
+dropped under congestion.
+
+Two layering mechanisms are provided:
+
+- :func:`layer_frame_blocks` / :meth:`LayeredIntraframeCodec.encode_frame`
+  perform **codec-level** layering: the first ``n_base_coeffs``
+  zig-zag coefficients of every block (DC + low spatial frequencies)
+  form the base layer, the remaining high-frequency coefficients the
+  enhancement layer, each with its own run-length + Huffman stream.
+- :func:`layer_series` performs **trace-level** layering for traces
+  without per-coefficient detail: a calibrated fraction of each
+  frame's bytes is assigned to the base layer (the paper notes the
+  layering overhead is small, so byte-level splitting preserves the
+  totals).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro._validation import as_1d_float_array, require_in_open_interval, require_positive_int
+from repro.video.codec import IntraframeCodec
+from repro.video.dct import blockwise_dct
+from repro.video.huffman import HuffmanCode
+from repro.video.quantize import quantize
+from repro.video.rle import rle_encode_block
+from repro.video.zigzag import zigzag_scan
+
+__all__ = ["LayeredFrame", "LayeredIntraframeCodec", "layer_series"]
+
+
+@dataclass(frozen=True)
+class LayeredFrame:
+    """Byte accounting of one frame coded into two layers."""
+
+    base_bytes: int
+    """Bytes in the base (high-priority) layer."""
+
+    enhancement_bytes: int
+    """Bytes in the enhancement (droppable) layer."""
+
+    n_base_coeffs: int
+    """Zig-zag coefficients per block assigned to the base layer."""
+
+    @property
+    def total_bytes(self):
+        """Total coded bytes across both layers."""
+        return self.base_bytes + self.enhancement_bytes
+
+    @property
+    def base_fraction(self):
+        """Share of the frame's bytes carried by the base layer."""
+        total = self.total_bytes
+        return self.base_bytes / total if total else 0.0
+
+
+class LayeredIntraframeCodec(IntraframeCodec):
+    """Intraframe codec producing a base + enhancement layer per frame.
+
+    Parameters are those of :class:`~repro.video.codec.IntraframeCodec`
+    plus ``n_base_coeffs``: how many zig-zag coefficients per 8x8 block
+    (DC first) belong to the base layer.  More base coefficients mean a
+    larger protected layer and a smaller droppable one.
+    """
+
+    def __init__(self, quant_step=16.0, block_size=8, slices_per_frame=30, n_base_coeffs=6):
+        super().__init__(quant_step=quant_step, block_size=block_size,
+                         slices_per_frame=slices_per_frame)
+        n_max = self.block_size * self.block_size
+        self.n_base_coeffs = require_positive_int(n_base_coeffs, "n_base_coeffs")
+        if self.n_base_coeffs >= n_max:
+            raise ValueError(
+                f"n_base_coeffs must be < {n_max} (block has {n_max} coefficients)"
+            )
+
+    def encode_frame_layered(self, frame):
+        """Code one frame into two layers; returns a :class:`LayeredFrame`.
+
+        Each layer gets its own Huffman table (built from its own
+        symbol statistics) and its amplitude bits, exactly as the
+        single-layer codec does -- the layering overhead is therefore
+        the small loss of cross-layer entropy coding, matching the
+        paper's remark that "the layering overhead is small".
+        """
+        padded = self._pad(frame)
+        coeffs = blockwise_dct(padded - 128.0, self.block_size, matrix=self._dct_matrix)
+        levels = quantize(coeffs, self.quant_step)
+        nbh, nbw = levels.shape[:2]
+        k = self.n_base_coeffs
+        layer_bits = [0, 0]
+        streams = ([], [])
+        frequencies = (Counter(), Counter())
+        for row in range(nbh):
+            for col in range(nbw):
+                vector = zigzag_scan(levels[row, col])
+                parts = (vector[:k], vector[k:])
+                for layer, part in enumerate(parts):
+                    symbols, amplitudes = rle_encode_block(part)
+                    streams[layer].append((symbols, amplitudes))
+                    frequencies[layer].update(symbols)
+        for layer in (0, 1):
+            code = HuffmanCode.from_frequencies(frequencies[layer])
+            for symbols, amplitudes in streams[layer]:
+                layer_bits[layer] += code.encoded_bit_length(symbols)
+                layer_bits[layer] += sum(size for _, size in amplitudes)
+        return LayeredFrame(
+            base_bytes=int(np.ceil(layer_bits[0] / 8.0)),
+            enhancement_bytes=int(np.ceil(layer_bits[1] / 8.0)),
+            n_base_coeffs=k,
+        )
+
+    def encode_movie_layered(self, frames):
+        """Code a movie; returns ``(base_series, enhancement_series)``."""
+        base = []
+        enh = []
+        for frame in frames:
+            layered = self.encode_frame_layered(frame)
+            base.append(layered.base_bytes)
+            enh.append(layered.enhancement_bytes)
+        if not base:
+            raise ValueError("frames iterable is empty")
+        return np.asarray(base, dtype=float), np.asarray(enh, dtype=float)
+
+
+def layer_series(series, base_fraction=0.4):
+    """Trace-level layering: split each slot's bytes into two layers.
+
+    Returns ``(base, enhancement)`` with
+    ``base = round(base_fraction * series)`` element-wise; totals are
+    preserved exactly (enhancement absorbs the rounding).
+    """
+    arr = as_1d_float_array(series, "series")
+    require_in_open_interval(base_fraction, "base_fraction", 0.0, 1.0)
+    base = np.rint(base_fraction * arr)
+    return base, arr - base

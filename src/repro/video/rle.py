@@ -1,0 +1,139 @@
+"""JPEG-style run-length coding of zig-zag scanned coefficients.
+
+Each quantized block vector (DC coefficient first, then 63 AC
+coefficients in zig-zag order) is converted to a stream of symbols:
+
+- the DC coefficient becomes ``("DC", size)`` where ``size`` is the
+  magnitude category (bit length of ``|value|``), followed by ``size``
+  amplitude bits;
+- each nonzero AC coefficient becomes ``("AC", run, size)`` where
+  ``run`` (0-15) counts the zeros preceding it; runs longer than 15
+  emit the ZRL symbol ``("AC", 15, 0)``;
+- a trailing run of zeros is replaced by the end-of-block symbol
+  ``("EOB",)``.
+
+Amplitudes use JPEG's one's-complement convention so that ``size``
+bits suffice for both signs.  The symbols feed the Huffman coder; the
+amplitude bits are appended verbatim.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "EOB",
+    "ZRL",
+    "magnitude_category",
+    "encode_amplitude",
+    "decode_amplitude",
+    "rle_encode_block",
+    "rle_decode_block",
+]
+
+EOB = ("EOB",)
+"""End-of-block symbol: the rest of the block is zero."""
+
+ZRL = ("AC", 15, 0)
+"""Zero-run-length symbol: sixteen consecutive zero coefficients."""
+
+
+def magnitude_category(value):
+    """JPEG magnitude category: bit length of ``|value|`` (0 for 0)."""
+    return int(abs(int(value))).bit_length()
+
+
+def encode_amplitude(value):
+    """``(bits, n_bits)`` for a coefficient in one's-complement form.
+
+    Positive values are sent verbatim in ``size`` bits; negative values
+    are sent as ``value + 2**size - 1`` (which clears the top bit, so
+    the decoder can recover the sign).
+    """
+    value = int(value)
+    size = magnitude_category(value)
+    if size == 0:
+        return 0, 0
+    if value > 0:
+        return value, size
+    return value + (1 << size) - 1, size
+
+
+def decode_amplitude(bits, size):
+    """Inverse of :func:`encode_amplitude`."""
+    if size == 0:
+        return 0
+    if bits >> (size - 1):
+        return bits
+    return bits - (1 << size) + 1
+
+
+def rle_encode_block(coeffs):
+    """Run-length encode one zig-zag scanned block vector.
+
+    Returns ``(symbols, amplitudes)`` where ``symbols`` is a list of
+    hashable tuples for the Huffman coder and ``amplitudes`` the
+    matching list of ``(bits, n_bits)`` pairs (entries for symbols
+    without amplitude, such as EOB and ZRL, carry ``(0, 0)``).
+    """
+    coeffs = np.asarray(coeffs)
+    if coeffs.ndim != 1 or coeffs.size < 1:
+        raise ValueError(f"coeffs must be a non-empty 1-D vector, got shape {coeffs.shape}")
+    symbols = []
+    amplitudes = []
+    dc = int(coeffs[0])
+    bits, size = encode_amplitude(dc)
+    symbols.append(("DC", size))
+    amplitudes.append((bits, size))
+    run = 0
+    for value in coeffs[1:]:
+        value = int(value)
+        if value == 0:
+            run += 1
+            continue
+        while run > 15:
+            symbols.append(ZRL)
+            amplitudes.append((0, 0))
+            run -= 16
+        bits, size = encode_amplitude(value)
+        symbols.append(("AC", run, size))
+        amplitudes.append((bits, size))
+        run = 0
+    if run > 0:
+        symbols.append(EOB)
+        amplitudes.append((0, 0))
+    return symbols, amplitudes
+
+
+def rle_decode_block(symbols, amplitudes, block_length=64):
+    """Rebuild the zig-zag coefficient vector from an RLE stream.
+
+    ``symbols`` / ``amplitudes`` must describe exactly one block.
+    """
+    if len(symbols) != len(amplitudes):
+        raise ValueError("symbols and amplitudes must have equal length")
+    if not symbols or symbols[0][0] != "DC":
+        raise ValueError("block stream must start with a DC symbol")
+    out = np.zeros(block_length, dtype=np.int64)
+    bits, size = amplitudes[0]
+    if size != symbols[0][1]:
+        raise ValueError("DC amplitude size disagrees with its symbol")
+    out[0] = decode_amplitude(bits, size)
+    pos = 1
+    for symbol, (bits, size) in zip(symbols[1:], amplitudes[1:]):
+        if symbol == EOB:
+            break
+        if symbol[0] != "AC":
+            raise ValueError(f"unexpected symbol {symbol!r} inside block")
+        _, run, sym_size = symbol
+        if sym_size != size:
+            raise ValueError("AC amplitude size disagrees with its symbol")
+        pos += run
+        if symbol == ZRL:
+            pos += 1
+            continue
+        if pos >= block_length:
+            raise ValueError("RLE stream overruns the block")
+        out[pos] = decode_amplitude(bits, size)
+        pos += 1
+    return out

@@ -1,0 +1,167 @@
+"""Traffic shaping: peak clipping, leaky-bucket smoothing, CBR transport.
+
+Two recommendations from the paper's Conclusions are implemented here:
+
+- *"A few extremely high peaks exist in the data, which are
+  problematic for the network.  We recommend that a realistic VBR
+  coder should clip such peaks, rather than send them into the
+  network."* -- :func:`clip_peaks` caps the per-frame byte count at a
+  quantile (or absolute) ceiling and reports how much information the
+  coder would have to absorb by degrading quality.
+
+- The introduction's motivation: *"Forcing the transmission rate to be
+  constant results in delay, wasted bandwidth, and modulation of the
+  video quality."* -- :func:`cbr_smoothing_delay` computes the coder
+  buffer (and hence delay) needed to carry a VBR trace over a CBR
+  channel of a given rate, and :func:`leaky_bucket` implements the
+  classical rate/bucket shaper, making the CBR-vs-VBR resource
+  comparison quantitative.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro._validation import as_1d_float_array, require_positive
+from repro.video.trace import VBRTrace
+
+__all__ = ["ClipResult", "clip_peaks", "leaky_bucket", "cbr_smoothing_delay"]
+
+
+@dataclass(frozen=True)
+class ClipResult:
+    """Outcome of peak clipping."""
+
+    trace: VBRTrace
+    """The clipped trace."""
+
+    ceiling: float
+    """The byte ceiling applied per frame."""
+
+    clipped_frames: int
+    """Number of frames that hit the ceiling."""
+
+    clipped_bytes: float
+    """Total bytes removed (quality the coder must absorb)."""
+
+    clipped_fraction: float
+    """Removed bytes as a fraction of the total."""
+
+
+def clip_peaks(trace, quantile=None, ceiling=None):
+    """Clip extreme frame peaks at a quantile or absolute ceiling.
+
+    Exactly one of ``quantile`` (e.g. 0.999) or ``ceiling`` (bytes per
+    frame) must be given.  Slice data, when present, is scaled down
+    proportionally within each clipped frame so slices still sum to the
+    frame total.
+
+    Returns a :class:`ClipResult`; ``result.trace`` is a new trace,
+    the input is left untouched.
+    """
+    if not isinstance(trace, VBRTrace):
+        raise TypeError("trace must be a VBRTrace")
+    if (quantile is None) == (ceiling is None):
+        raise ValueError("specify exactly one of quantile= or ceiling=")
+    x = trace.frame_bytes
+    if quantile is not None:
+        if not 0.0 < quantile < 1.0:
+            raise ValueError(f"quantile must lie in (0, 1), got {quantile!r}")
+        ceiling = float(np.quantile(x, quantile))
+    ceiling = require_positive(ceiling, "ceiling")
+    clipped = np.minimum(x, ceiling)
+    mask = x > ceiling
+    slice_bytes = None
+    if trace.has_slice_data:
+        spf = trace.slices_per_frame
+        slices = trace.slice_bytes.reshape(-1, spf).copy()
+        scale = np.where(x > 0, clipped / np.maximum(x, 1e-12), 1.0)
+        slices *= scale[:, None]
+        # Re-round while preserving the per-frame sum.
+        base = np.floor(slices)
+        target = np.rint(clipped)
+        shortfall = np.rint(target - base.sum(axis=1)).astype(np.intp)
+        frac = slices - base
+        rank = np.argsort(np.argsort(-frac, axis=1, kind="stable"), axis=1)
+        base += rank < shortfall[:, None]
+        slice_bytes = base.reshape(-1)
+        clipped = target
+    result_trace = VBRTrace(
+        clipped,
+        frame_rate=trace.frame_rate,
+        slices_per_frame=trace.slices_per_frame,
+        slice_bytes=slice_bytes,
+    )
+    removed = float(np.sum(x - np.minimum(x, ceiling)))
+    return ClipResult(
+        trace=result_trace,
+        ceiling=float(ceiling),
+        clipped_frames=int(np.count_nonzero(mask)),
+        clipped_bytes=removed,
+        clipped_fraction=removed / float(np.sum(x)),
+    )
+
+
+def leaky_bucket(series, rate_per_slot, bucket_bytes):
+    """Leaky-bucket shaper: returns the conforming output series.
+
+    Arrivals enter a bucket drained at ``rate_per_slot``; output in a
+    slot is limited to ``rate_per_slot`` plus whatever bucket space
+    admits -- i.e. the departure process of an infinite-FIFO with
+    capacity ``rate_per_slot``, with the *backlog* capped by the
+    declaration that anything above ``bucket_bytes`` of backlog is
+    emitted unshaped (reported separately as non-conforming).
+
+    Returns ``(shaped, nonconforming)`` where ``shaped[t]`` is the
+    conforming departure in slot ``t`` and ``nonconforming[t]`` the
+    excess that would violate the contract.
+    """
+    a = as_1d_float_array(series, "series")
+    rate = require_positive(rate_per_slot, "rate_per_slot")
+    bucket = require_positive(bucket_bytes, "bucket_bytes")
+    shaped = np.empty(a.size)
+    nonconforming = np.zeros(a.size)
+    backlog = 0.0
+    for t, arrival in enumerate(a.tolist()):
+        backlog += arrival
+        if backlog > bucket:
+            nonconforming[t] = backlog - bucket
+            backlog = bucket
+        out = min(backlog, rate)
+        shaped[t] = out
+        backlog -= out
+    return shaped, nonconforming
+
+
+def cbr_smoothing_delay(series, rate_per_slot, slot_seconds):
+    """Coder-side buffering needed to send a VBR trace over CBR.
+
+    With a constant channel of ``rate_per_slot`` bytes per slot, the
+    coder buffers whatever the channel cannot carry immediately; the
+    maximum backlog divided by the rate is the worst-case added delay
+    (the "delay" cost of CBR transport from the paper's introduction).
+
+    Returns a dict with ``"max_backlog_bytes"``, ``"max_delay_seconds"``
+    and ``"utilization"`` (mean rate over channel rate).  Raises if the
+    channel is slower than the mean rate (the buffer would grow without
+    bound).
+    """
+    a = as_1d_float_array(series, "series")
+    rate = require_positive(rate_per_slot, "rate_per_slot")
+    slot_seconds = require_positive(slot_seconds, "slot_seconds")
+    mean_rate = float(np.mean(a))
+    if rate < mean_rate:
+        raise ValueError(
+            f"CBR rate {rate:g} bytes/slot is below the mean rate {mean_rate:g}; "
+            "the smoothing buffer would diverge"
+        )
+    from repro.simulation.queue import max_backlog
+
+    backlog = max_backlog(a, rate)
+    return {
+        "max_backlog_bytes": backlog,
+        "max_delay_seconds": backlog / rate * slot_seconds,
+        "utilization": mean_rate / rate,
+    }

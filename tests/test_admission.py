@@ -1,0 +1,107 @@
+"""Tests for connection admission control."""
+
+import numpy as np
+import pytest
+
+from repro.simulation.admission import max_admissible_sources, norros_admissible_sources
+
+
+@pytest.fixture(scope="module")
+def series(small_series):
+    return small_series
+
+
+class TestMaxAdmissibleSources:
+    def test_zero_when_link_too_small(self, series, rng):
+        n = max_admissible_sources(
+            series, 1 / 24.0, capacity_bps=1e6, buffer_bytes=10_000.0, rng=rng
+        )
+        assert n == 0
+
+    def test_monotone_in_capacity(self, series):
+        counts = []
+        for mbps in (10.0, 25.0, 50.0):
+            counts.append(
+                max_admissible_sources(
+                    series, 1 / 24.0, capacity_bps=mbps * 1e6,
+                    buffer_bytes=300_000.0, target_loss=1e-3,
+                    rng=np.random.default_rng(2),
+                )
+            )
+        assert counts[0] <= counts[1] <= counts[2]
+        assert counts[2] >= 2
+
+    def test_bounded_by_mean_rate(self, series, rng):
+        """Stability: N * mean rate cannot exceed the capacity."""
+        mbps = 30.0
+        n = max_admissible_sources(
+            series, 1 / 24.0, capacity_bps=mbps * 1e6,
+            buffer_bytes=1e9, target_loss=1e-2, rng=rng,
+        )
+        mean_bps = float(np.mean(series)) * 8 * 24
+        assert n <= mbps * 1e6 / mean_bps + 1
+
+    def test_looser_target_admits_more(self, series):
+        strict = max_admissible_sources(
+            series, 1 / 24.0, 30e6, 300_000.0, target_loss=0.0,
+            rng=np.random.default_rng(3),
+        )
+        loose = max_admissible_sources(
+            series, 1 / 24.0, 30e6, 300_000.0, target_loss=1e-2,
+            rng=np.random.default_rng(3),
+        )
+        assert loose >= strict
+
+    def test_admitted_configuration_is_feasible(self, series):
+        """The returned N actually meets the target when re-simulated."""
+        from repro.simulation.multiplex import multiplex_series, random_lags
+        from repro.simulation.queue import simulate_queue
+
+        rng = np.random.default_rng(4)
+        capacity_bps = 35e6
+        buffer_bytes = 400_000.0
+        target = 1e-3
+        n = max_admissible_sources(
+            series, 1 / 24.0, capacity_bps, buffer_bytes, target_loss=target,
+            rng=np.random.default_rng(4),
+        )
+        assert n >= 1
+        capacity = capacity_bps / 8.0 / 24.0
+        lags = random_lags(n, series.size, min_separation=min(1000, series.size // (2 * n)), rng=rng)
+        arrivals = multiplex_series(series, lags)
+        assert simulate_queue(arrivals, capacity, buffer_bytes).loss_rate <= target * 3
+
+    def test_rejects_bad_inputs(self, series, rng):
+        with pytest.raises(ValueError):
+            max_admissible_sources(series, 0.0, 1e6, 1.0, rng=rng)
+        with pytest.raises(ValueError):
+            max_admissible_sources(np.zeros(100), 1 / 24.0, 1e6, 1.0, rng=rng)
+
+
+class TestNorrosAdmission:
+    def test_matches_simulation_order(self, series):
+        """Effective-bandwidth admission lands within +-2 of the
+        trace-driven count (at these parameters)."""
+        from repro.analysis.hurst import variance_time
+
+        h = float(np.clip(variance_time(series).hurst, 0.55, 0.95))
+        a = float(np.var(series) / np.mean(series))
+        n_sim = max_admissible_sources(
+            series, 1 / 24.0, 45e6, 500_000.0, target_loss=1e-4,
+            rng=np.random.default_rng(1),
+        )
+        n_norros = norros_admissible_sources(
+            float(np.mean(series)), a, h, 45e6, 500_000.0, 1e-4, 1 / 24.0
+        )
+        assert abs(n_sim - n_norros) <= 2
+
+    def test_zero_for_tiny_link(self, series):
+        n = norros_admissible_sources(27_791.0, 1_400.0, 0.8, 1e6, 10_000.0, 1e-4, 1 / 24.0)
+        assert n == 0
+
+    def test_monotone_in_capacity(self):
+        args = dict(mean_rate=27_791.0, variance_coeff=1_400.0, hurst=0.8,
+                    buffer_bytes=500_000.0, target_loss=1e-4, slot_seconds=1 / 24.0)
+        small = norros_admissible_sources(capacity_bps=20e6, **args)
+        large = norros_admissible_sources(capacity_bps=60e6, **args)
+        assert large > small

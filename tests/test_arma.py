@@ -1,0 +1,128 @@
+"""Tests for the ARMA process and Yule-Walker estimation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.arma import ARMAProcess, yule_walker
+
+
+class TestConstruction:
+    def test_white_noise_default(self):
+        p = ARMAProcess()
+        assert p.order == (0, 0)
+        assert p.variance() == pytest.approx(1.0)
+
+    def test_rejects_nonstationary_ar(self):
+        with pytest.raises(ValueError):
+            ARMAProcess(ar=[1.0])
+        with pytest.raises(ValueError):
+            ARMAProcess(ar=[1.5, -0.4])
+
+    def test_stationarity_check(self):
+        assert ARMAProcess.is_stationary([0.5])
+        assert ARMAProcess.is_stationary([0.5, 0.3])
+        assert not ARMAProcess.is_stationary([0.9, 0.2])
+
+    def test_rejects_bad_sigma(self):
+        with pytest.raises(ValueError):
+            ARMAProcess(ar=[0.5], sigma_eps=0.0)
+
+
+class TestSecondOrderStructure:
+    def test_ar1_acf_geometric(self):
+        p = ARMAProcess(ar=[0.8])
+        np.testing.assert_allclose(p.acf(4), [1.0, 0.8, 0.64, 0.512, 0.4096], rtol=1e-9)
+
+    def test_ar1_variance(self):
+        """Var = sigma^2 / (1 - phi^2)."""
+        p = ARMAProcess(ar=[0.6], sigma_eps=2.0)
+        assert p.variance() == pytest.approx(4.0 / (1 - 0.36), rel=1e-9)
+
+    def test_ma1_acf(self):
+        """MA(1): rho_1 = theta / (1 + theta^2), rho_k = 0 for k > 1."""
+        theta = 0.5
+        p = ARMAProcess(ma=[theta])
+        acf = p.acf(3)
+        assert acf[1] == pytest.approx(theta / (1 + theta**2), rel=1e-9)
+        np.testing.assert_allclose(acf[2:], 0.0, atol=1e-12)
+
+    def test_arma11_acf_known(self):
+        """ARMA(1,1) rho_1 = (1+phi theta)(phi+theta) / (1+2 phi theta+theta^2)."""
+        phi, theta = 0.7, 0.3
+        p = ARMAProcess(ar=[phi], ma=[theta])
+        expected_r1 = (1 + phi * theta) * (phi + theta) / (1 + 2 * phi * theta + theta**2)
+        assert p.acf(1)[1] == pytest.approx(expected_r1, rel=1e-9)
+        # Beyond lag 1 the ACF decays geometrically with phi.
+        acf = p.acf(5)
+        np.testing.assert_allclose(acf[2:] / acf[1:-1], phi, rtol=1e-9)
+
+    def test_psi_weights_ar1(self):
+        p = ARMAProcess(ar=[0.5])
+        np.testing.assert_allclose(p.ma_infinity_weights(5), 0.5 ** np.arange(5), rtol=1e-12)
+
+    def test_acf_summable(self):
+        """ARMA correlations are geometrically summable (SRD) --
+        contrast with the fARIMA divergence tested elsewhere."""
+        p = ARMAProcess(ar=[0.9])
+        s1 = p.acf(500).sum()
+        s2 = p.acf(5000).sum()
+        assert s2 == pytest.approx(s1, rel=1e-3)
+
+
+class TestGeneration:
+    def test_sample_acf_matches_theory(self, rng):
+        p = ARMAProcess(ar=[0.7], ma=[0.2])
+        x = p.generate(60_000, rng=rng)
+        r1 = np.corrcoef(x[:-1], x[1:])[0, 1]
+        assert r1 == pytest.approx(p.acf(1)[1], abs=0.02)
+
+    def test_sample_variance(self, rng):
+        p = ARMAProcess(ar=[0.5], sigma_eps=3.0)
+        x = p.generate(60_000, rng=rng)
+        assert np.var(x) == pytest.approx(p.variance(), rel=0.05)
+
+    def test_reproducible(self):
+        p = ARMAProcess(ar=[0.5])
+        a = p.generate(100, rng=np.random.default_rng(3))
+        b = p.generate(100, rng=np.random.default_rng(3))
+        np.testing.assert_array_equal(a, b)
+
+    def test_burn_in_removes_transient(self, rng):
+        """The first sample is already stationary (no startup bias)."""
+        p = ARMAProcess(ar=[0.95])
+        starts = [p.generate(2, rng=np.random.default_rng(s))[0] for s in range(300)]
+        assert np.std(starts) == pytest.approx(np.sqrt(p.variance()), rel=0.2)
+
+
+class TestYuleWalker:
+    def test_recovers_ar2(self, rng):
+        true = ARMAProcess(ar=[0.5, 0.25])
+        x = true.generate(100_000, rng=rng)
+        phi, sigma = yule_walker(x, 2)
+        np.testing.assert_allclose(phi, [0.5, 0.25], atol=0.03)
+        assert sigma == pytest.approx(1.0, rel=0.05)
+
+    def test_white_noise_gives_zero(self, rng):
+        phi, sigma = yule_walker(rng.standard_normal(50_000), 2)
+        np.testing.assert_allclose(phi, 0.0, atol=0.02)
+
+    def test_rejects_short_series(self):
+        with pytest.raises(ValueError):
+            yule_walker([1.0, 2.0], 3)
+
+    def test_rejects_constant(self):
+        with pytest.raises(ValueError):
+            yule_walker(np.ones(100), 1)
+
+
+@settings(max_examples=25, deadline=None)
+@given(phi=st.floats(min_value=-0.9, max_value=0.9))
+def test_ar1_acf_property(phi):
+    """Property: AR(1) ACF is phi^k for any stationary phi."""
+    if abs(phi) < 1e-6:
+        phi = 0.1
+    p = ARMAProcess(ar=[phi])
+    acf = p.acf(6)
+    np.testing.assert_allclose(acf, phi ** np.arange(7.0), rtol=1e-6, atol=1e-9)

@@ -1,0 +1,129 @@
+"""Tests for the baseline traffic models of the Fig. 16 comparison."""
+
+import numpy as np
+import pytest
+
+from repro.core.baselines import AR1Model, DAR1Model, GaussianFarimaModel, IIDGammaParetoModel
+from repro.distributions import GammaParetoHybrid
+
+
+@pytest.fixture(scope="module")
+def marginal():
+    return GammaParetoHybrid(1000.0, 250.0, 8.0)
+
+
+class TestIIDGammaPareto:
+    def test_marginal_statistics(self, marginal, rng):
+        y = IIDGammaParetoModel(marginal).generate(50_000, rng=rng)
+        assert np.mean(y) == pytest.approx(marginal.mean(), rel=0.02)
+
+    def test_no_time_correlation(self, marginal, rng):
+        y = IIDGammaParetoModel(marginal).generate(20_000, rng=rng)
+        r1 = np.corrcoef(y[:-1], y[1:])[0, 1]
+        assert abs(r1) < 0.03
+
+    def test_h_half(self, marginal, rng):
+        from repro.analysis.hurst import variance_time
+
+        y = IIDGammaParetoModel(marginal).generate(2**14, rng=rng)
+        assert variance_time(y).hurst == pytest.approx(0.5, abs=0.07)
+
+    def test_rejects_non_distribution(self):
+        with pytest.raises(TypeError):
+            IIDGammaParetoModel(42)
+
+
+class TestGaussianFarima:
+    def test_mean_and_std(self, rng):
+        m = GaussianFarimaModel(1000.0, 100.0, 0.8, generator="davies-harte")
+        y = m.generate(20_000, rng=rng)
+        assert np.mean(y) == pytest.approx(1000.0, rel=0.05)
+        assert np.std(y) == pytest.approx(100.0, rel=0.15)
+
+    def test_no_heavy_tail(self, rng):
+        """Gaussian marginals: essentially no mass beyond 5 sigma."""
+        m = GaussianFarimaModel(1000.0, 100.0, 0.8, generator="davies-harte")
+        y = m.generate(50_000, rng=rng)
+        assert np.max(y) < 1000.0 + 6.5 * 100.0
+
+    def test_retains_lrd(self, rng):
+        from repro.analysis.hurst import variance_time
+
+        m = GaussianFarimaModel(1000.0, 100.0, 0.8, generator="davies-harte")
+        y = m.generate(2**14, rng=rng)
+        assert variance_time(y).hurst == pytest.approx(0.8, abs=0.08)
+
+    def test_clipping_at_zero(self, rng):
+        """High-CoV Gaussian traffic is clipped at zero (no negative
+        bandwidth)."""
+        m = GaussianFarimaModel(10.0, 100.0, 0.6, generator="davies-harte")
+        y = m.generate(5_000, rng=rng)
+        assert np.all(y >= 0)
+
+    def test_rejects_bad_generator(self):
+        with pytest.raises(ValueError):
+            GaussianFarimaModel(1.0, 1.0, 0.8, generator="spectral")
+
+
+class TestAR1:
+    def test_theoretical_acf(self):
+        m = AR1Model(100.0, 10.0, 0.9)
+        np.testing.assert_allclose(m.acf(3), [1.0, 0.9, 0.81, 0.729])
+
+    def test_sample_acf_matches(self, rng):
+        m = AR1Model(100.0, 10.0, 0.8)
+        y = m.generate(30_000, rng=rng)
+        r1 = np.corrcoef(y[:-1], y[1:])[0, 1]
+        assert r1 == pytest.approx(0.8, abs=0.03)
+
+    def test_marginal_std(self, rng):
+        m = AR1Model(100.0, 10.0, 0.7)
+        y = m.generate(30_000, rng=rng)
+        assert np.std(y) == pytest.approx(10.0, rel=0.1)
+
+    def test_is_srd(self, rng):
+        from repro.analysis.hurst import variance_time
+
+        y = AR1Model(100.0, 10.0, 0.9).generate(2**15, rng=rng)
+        # Fit the slope well beyond the AR(1) correlation time (~10
+        # slots at phi = 0.9), where SRD aggregation behaves like
+        # white noise and the slope approaches -1.
+        est = variance_time(y, fit_range=(100, 2000))
+        assert est.hurst < 0.65
+
+    def test_rejects_nonstationary_phi(self):
+        with pytest.raises(ValueError):
+            AR1Model(1.0, 1.0, 1.0)
+
+
+class TestDAR1:
+    def test_marginal_preserved_exactly(self, marginal, rng):
+        """DAR(1)'s stationary marginal equals the innovation law."""
+        m = DAR1Model(marginal, rho=0.9)
+        y = m.generate(50_000, rng=rng)
+        for q in (0.25, 0.5, 0.75):
+            assert np.quantile(y, q) == pytest.approx(marginal.ppf(q), rel=0.05)
+
+    def test_acf_geometric(self, marginal, rng):
+        m = DAR1Model(marginal, rho=0.8)
+        y = m.generate(40_000, rng=rng)
+        r1 = np.corrcoef(y[:-1], y[1:])[0, 1]
+        r2 = np.corrcoef(y[:-2], y[2:])[0, 1]
+        assert r1 == pytest.approx(0.8, abs=0.05)
+        assert r2 == pytest.approx(0.64, abs=0.05)
+
+    def test_piecewise_constant_paths(self, marginal, rng):
+        """DAR(1) holds its level between innovations -- runs of equal
+        values occur with the expected geometric length."""
+        m = DAR1Model(marginal, rho=0.9)
+        y = m.generate(10_000, rng=rng)
+        repeats = np.mean(y[1:] == y[:-1])
+        assert repeats == pytest.approx(0.9, abs=0.02)
+
+    def test_theoretical_acf(self, marginal):
+        m = DAR1Model(marginal, rho=0.7)
+        np.testing.assert_allclose(m.acf(2), [1.0, 0.7, 0.49])
+
+    def test_rejects_bad_rho(self, marginal):
+        with pytest.raises(ValueError):
+            DAR1Model(marginal, rho=1.0)

@@ -1,0 +1,102 @@
+"""Tests for the command-line interface."""
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_synthesize_args(self):
+        args = build_parser().parse_args(
+            ["synthesize", "--frames", "100", "--out", "x.dat"]
+        )
+        assert args.command == "synthesize"
+        assert args.frames == 100
+
+    def test_simulate_requires_capacity(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["simulate", "t.dat"])
+
+
+class TestCommands:
+    def test_synthesize_roundtrip(self, tmp_path, capsys):
+        out = tmp_path / "trace.dat"
+        assert main(["synthesize", "--frames", "2000", "--out", str(out)]) == 0
+        assert out.exists()
+        from repro.video.tracefile import load_trace
+
+        trace = load_trace(out)
+        assert trace.n_frames == 2000
+        assert "wrote 2000 frames" in capsys.readouterr().out
+
+    def test_synthesize_slice_unit(self, tmp_path):
+        out = tmp_path / "slices.dat"
+        assert main(["synthesize", "--frames", "500", "--unit", "slice", "--out", str(out)]) == 0
+        from repro.video.tracefile import load_trace
+
+        trace = load_trace(out)
+        assert trace.has_slice_data
+
+    def test_synthesize_mpeg(self, tmp_path):
+        out = tmp_path / "mpeg.dat"
+        assert main(["synthesize", "--frames", "1200", "--mpeg", "--out", str(out)]) == 0
+        from repro.video.tracefile import load_trace
+
+        trace = load_trace(out)
+        assert trace.n_frames == 1200
+
+    def test_analyze_synthetic(self, capsys):
+        assert main(["analyze", "--synthetic", "--frames", "4000"]) == 0
+        out = capsys.readouterr().out
+        assert "Hurst estimates" in out
+        assert "Tail ranking" in out
+
+    def test_analyze_file(self, tmp_path, capsys):
+        path = tmp_path / "t.dat"
+        main(["synthesize", "--frames", "3000", "--out", str(path)])
+        capsys.readouterr()
+        assert main(["analyze", str(path)]) == 0
+        assert "Summary (frame)" in capsys.readouterr().out
+
+    def test_simulate(self, capsys):
+        code = main([
+            "simulate", "--synthetic", "--frames", "4000",
+            "--sources", "2", "--capacity-mbps", "12", "--buffer-ms", "10",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "loss rate" in out
+        assert "utilization" in out
+
+    def test_simulate_overprovisioned_no_loss(self, capsys):
+        main([
+            "simulate", "--synthetic", "--frames", "3000",
+            "--sources", "1", "--capacity-mbps", "20", "--buffer-ms", "100",
+        ])
+        out = capsys.readouterr().out
+        assert "P_l = 0.000e+00" in out
+
+    def test_generate(self, tmp_path, capsys):
+        out_path = tmp_path / "gen.dat"
+        code = main([
+            "generate", "--synthetic", "--frames", "3000", "--out", str(out_path)
+        ])
+        assert code == 0
+        from repro.video.tracefile import load_trace
+
+        trace = load_trace(out_path)
+        assert trace.n_frames == 3000
+        # Generated traffic carries the fitted statistics.
+        assert np.mean(trace.frame_bytes) == pytest.approx(27_791, rel=0.15)
+
+    def test_report(self, capsys):
+        code = main(["report", "--synthetic", "--frames", "5000"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "VERDICT" in out
+        assert "Hurst panel" in out

@@ -1,0 +1,119 @@
+"""Tests for the SRD-augmented composite model (paper's future work)."""
+
+import numpy as np
+import pytest
+
+from repro.core.arma import ARMAProcess
+from repro.core.composite import CompositeVBRModel
+from repro.core.model import VBRVideoModel
+
+
+@pytest.fixture(scope="module")
+def base():
+    return VBRVideoModel(27_791.0, 6_254.0, 12.0, 0.8)
+
+
+@pytest.fixture(scope="module")
+def composite(base):
+    return CompositeVBRModel(base, ARMAProcess(ar=[0.8]), srd_weight=0.6)
+
+
+class TestConstruction:
+    def test_zero_weight_is_base_model(self, base, rng):
+        c = CompositeVBRModel(base, ARMAProcess(ar=[0.8]), srd_weight=0.0)
+        x = c.generate_gaussian(500, rng=np.random.default_rng(1))
+        y = base.generate_gaussian(500, rng=np.random.default_rng(1), generator="davies-harte")
+        np.testing.assert_array_equal(x, y)
+
+    def test_rejects_bad_types(self, base):
+        with pytest.raises(TypeError):
+            CompositeVBRModel("base", ARMAProcess())
+        with pytest.raises(TypeError):
+            CompositeVBRModel(base, "arma")
+
+    def test_rejects_bad_weight(self, base):
+        with pytest.raises(ValueError):
+            CompositeVBRModel(base, ARMAProcess(), srd_weight=1.0)
+
+    def test_parameters(self, composite):
+        params = composite.parameters
+        assert params["srd_weight"] == 0.6
+        assert params["ar"] == [0.8]
+
+
+class TestStatisticalProperties:
+    def test_gaussian_mix_unit_variance(self, composite, rng):
+        z = composite.generate_gaussian(20_000, rng=rng)
+        assert np.var(z) == pytest.approx(1.0, abs=0.2)
+
+    def test_short_lag_acf_follows_mix(self, composite, rng):
+        """Lag-1 autocorrelation matches the theoretical mixture."""
+        z = composite.generate_gaussian(40_000, rng=rng)
+        r1 = np.corrcoef(z[:-1], z[1:])[0, 1]
+        # LRD sample autocorrelations converge slowly; 0.07 is ~2 sigma.
+        assert r1 == pytest.approx(composite.theoretical_short_acf(1)[1], abs=0.07)
+
+    def test_hurst_preserved(self, composite):
+        """The SRD component cannot change the asymptotic H."""
+        from repro.analysis.hurst import variance_time
+
+        z = composite.generate_gaussian(2**15, rng=np.random.default_rng(3))
+        est = variance_time(z, fit_range=(100, 3000))
+        assert est.hurst == pytest.approx(0.8, abs=0.1)
+
+    def test_marginal_imposed(self, composite, rng):
+        y = composite.generate(20_000, rng=rng)
+        # LRD sample means wander as n^(H-1): sigma ~ 860 bytes here.
+        assert np.mean(y) == pytest.approx(composite.base.marginal.mean(), rel=0.08)
+        assert np.all(y > 0)
+
+    def test_stronger_srd_than_base(self, base, rng):
+        """With a high-phi AR component the composite has higher lag-1
+        correlation than the plain LRD model -- the point of the
+        augmentation."""
+        composite = CompositeVBRModel(base, ARMAProcess(ar=[0.95]), srd_weight=0.7)
+        z_plain = base.generate_gaussian(20_000, rng=np.random.default_rng(4), generator="davies-harte")
+        z_comp = composite.generate_gaussian(20_000, rng=np.random.default_rng(4))
+        r1_plain = np.corrcoef(z_plain[:-1], z_plain[1:])[0, 1]
+        r1_comp = np.corrcoef(z_comp[:-1], z_comp[1:])[0, 1]
+        assert r1_comp > r1_plain + 0.1
+
+
+class TestFit:
+    def test_fit_from_trace(self, small_series):
+        model = CompositeVBRModel.fit(small_series, ar_order=2)
+        assert 0.0 <= model.srd_weight < 1.0
+        assert model.arma.order[0] == 2
+        assert 0.6 < model.base.hurst < 0.95
+
+    def test_fit_matches_lag1(self, small_series):
+        """The fitted weight reproduces the data's (Gaussianized)
+        lag-1 autocorrelation."""
+        from repro.core.transform import normal_scores
+
+        model = CompositeVBRModel.fit(small_series, ar_order=2)
+        z = normal_scores(small_series)
+        r1_data = float(np.corrcoef(z[:-1], z[1:])[0, 1])
+        r1_model = float(model.theoretical_short_acf(1)[1])
+        assert r1_model == pytest.approx(r1_data, abs=0.1)
+
+    def test_fit_then_generate(self, small_series, rng):
+        model = CompositeVBRModel.fit(small_series, ar_order=1)
+        y = model.generate(5_000, rng=rng)
+        assert np.mean(y) == pytest.approx(np.mean(small_series), rel=0.1)
+
+    def test_composite_short_acf_closer_than_base(self, small_series):
+        """The composite matches the trace's short-lag ACF better than
+        the plain model -- the improvement the paper anticipated."""
+        from repro.analysis.correlation import autocorrelation
+        from repro.core.fractional import farima_acf
+        from repro.core.transform import normal_scores
+
+        model = CompositeVBRModel.fit(small_series, ar_order=2)
+        z = normal_scores(small_series)
+        data_acf = autocorrelation(z, max_lag=10)[1:]
+        base_acf = farima_acf(model.base.hurst - 0.5, 10)[1:]
+        comp_acf = model.theoretical_short_acf(10)[1:]
+        err_base = np.mean(np.abs(base_acf - data_acf))
+        err_comp = np.mean(np.abs(comp_acf - data_acf))
+        assert err_comp < err_base

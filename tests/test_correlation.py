@@ -1,0 +1,184 @@
+"""Tests for autocorrelation, periodogram, aggregation, moving average."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.correlation import (
+    aggregate,
+    autocorrelation,
+    exponential_acf_fit,
+    moving_average,
+    periodogram,
+)
+
+
+class TestAutocorrelation:
+    def test_lag_zero_is_one(self, rng):
+        r = autocorrelation(rng.standard_normal(500), max_lag=10)
+        assert r[0] == pytest.approx(1.0)
+
+    def test_matches_direct_computation(self, rng):
+        """FFT implementation equals the O(n^2) textbook estimator."""
+        x = rng.standard_normal(200)
+        r = autocorrelation(x, max_lag=20)
+        c = x - x.mean()
+        denom = np.dot(c, c)
+        direct = [np.dot(c[: 200 - k], c[k:]) / denom for k in range(21)]
+        np.testing.assert_allclose(r, direct, atol=1e-12)
+
+    def test_ar1_acf(self, rng):
+        from scipy import signal
+
+        phi = 0.8
+        eps = rng.standard_normal(100_000)
+        x = signal.lfilter([1.0], [1.0, -phi], eps)
+        r = autocorrelation(x, max_lag=5)
+        np.testing.assert_allclose(r[1:], phi ** np.arange(1, 6), atol=0.02)
+
+    def test_white_noise_near_zero(self, rng):
+        r = autocorrelation(rng.standard_normal(50_000), max_lag=10)
+        np.testing.assert_allclose(r[1:], 0.0, atol=0.02)
+
+    def test_default_max_lag(self, rng):
+        x = rng.standard_normal(64)
+        assert autocorrelation(x).shape == (64,)
+
+    def test_rejects_constant_series(self):
+        with pytest.raises(ValueError):
+            autocorrelation(np.ones(100), max_lag=5)
+
+    def test_rejects_excessive_lag(self, rng):
+        with pytest.raises(ValueError):
+            autocorrelation(rng.standard_normal(10), max_lag=10)
+
+
+class TestPeriodogram:
+    def test_frequencies_and_shape(self, rng):
+        omega, i = periodogram(rng.standard_normal(1000))
+        assert omega.shape == i.shape == (500,)
+        assert omega[0] == pytest.approx(2 * np.pi / 1000)
+        assert omega[-1] == pytest.approx(np.pi)
+
+    def test_parseval_total_power(self, rng):
+        """Sum of the periodogram over all frequencies recovers the
+        variance (Parseval): sum I(w_j) * (2 pi / n) * 2 ~= var."""
+        x = rng.standard_normal(4096)
+        omega, i = periodogram(x)
+        total = 2.0 * np.sum(i) * 2 * np.pi / x.size
+        assert total == pytest.approx(np.var(x), rel=0.02)
+
+    def test_sinusoid_peak(self):
+        n = 1024
+        t = np.arange(n)
+        x = np.sin(2 * np.pi * 64 * t / n)
+        omega, i = periodogram(x)
+        assert np.argmax(i) == 63  # omega_64 is the 64th ordinate (index 63)
+
+    def test_white_noise_flat(self, rng):
+        x = rng.standard_normal(2**14)
+        omega, i = periodogram(x)
+        low = np.mean(i[: i.size // 10])
+        high = np.mean(i[-i.size // 10 :])
+        assert low == pytest.approx(high, rel=0.2)
+
+    def test_lrd_divergence_at_origin(self, fgn_path):
+        """For H=0.8 the low-frequency intensities dominate the high
+        ones: the paper's Fig. 8 signature."""
+        omega, i = periodogram(fgn_path)
+        low = np.mean(i[:30])
+        high = np.mean(i[-1000:])
+        assert low > 10 * high
+
+
+class TestMovingAverage:
+    def test_matches_direct_mean(self, rng):
+        x = rng.standard_normal(100)
+        pos, ma = moving_average(x, 10)
+        assert ma.shape == (91,)
+        assert ma[0] == pytest.approx(np.mean(x[:10]))
+        assert ma[-1] == pytest.approx(np.mean(x[-10:]))
+
+    def test_centers(self):
+        pos, _ = moving_average(np.arange(10.0), 4)
+        assert pos[0] == pytest.approx(1.5)
+
+    def test_window_one_identity(self):
+        x = np.array([3.0, 1.0, 4.0])
+        _, ma = moving_average(x, 1)
+        np.testing.assert_array_equal(ma, x)
+
+    def test_rejects_oversized_window(self):
+        with pytest.raises(ValueError):
+            moving_average(np.arange(5.0), 6)
+
+
+class TestAggregate:
+    def test_block_means(self):
+        out = aggregate([1.0, 3.0, 5.0, 7.0], 2)
+        np.testing.assert_array_equal(out, [2.0, 6.0])
+
+    def test_drops_partial_block(self):
+        out = aggregate([1.0, 3.0, 5.0], 2)
+        np.testing.assert_array_equal(out, [2.0])
+
+    def test_m_one_identity(self):
+        x = np.array([1.0, 2.0])
+        np.testing.assert_array_equal(aggregate(x, 1), x)
+
+    def test_preserves_mean(self, rng):
+        x = rng.uniform(size=1000)
+        assert aggregate(x, 10).mean() == pytest.approx(x.mean(), abs=1e-12)
+
+    def test_iid_variance_scaling(self, rng):
+        """Var(X^(m)) = sigma^2 / m for i.i.d. data (the SRD baseline
+        of the variance-time plot)."""
+        x = rng.standard_normal(200_000)
+        v = np.var(aggregate(x, 100))
+        assert v == pytest.approx(1.0 / 100.0, rel=0.15)
+
+    def test_rejects_oversized_block(self):
+        with pytest.raises(ValueError):
+            aggregate(np.arange(5.0), 6)
+
+
+class TestExponentialFit:
+    def test_recovers_exact_exponential(self):
+        rho = 0.95
+        acf = rho ** np.arange(200, dtype=float)
+        fitted_rho, curve = exponential_acf_fit(acf, np.arange(1, 100))
+        assert fitted_rho == pytest.approx(rho, rel=1e-6)
+        np.testing.assert_allclose(curve, acf, rtol=1e-5)
+
+    def test_rejects_bad_lags(self):
+        acf = 0.9 ** np.arange(50, dtype=float)
+        with pytest.raises(ValueError):
+            exponential_acf_fit(acf, [0, 1])
+        with pytest.raises(ValueError):
+            exponential_acf_fit(acf, [45, 55])
+
+    def test_rejects_negative_acf_region(self):
+        acf = np.concatenate(([1.0], -np.ones(20)))
+        with pytest.raises(ValueError):
+            exponential_acf_fit(acf, np.arange(1, 20))
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    m=st.integers(min_value=1, max_value=50),
+    n_blocks=st.integers(min_value=2, max_value=40),
+)
+def test_aggregate_shape_property(m, n_blocks):
+    """Property: aggregation by m maps m*k points to exactly k."""
+    x = np.arange(m * n_blocks, dtype=float)
+    assert aggregate(x, m).shape == (n_blocks,)
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=10_000))
+def test_autocorrelation_bounds_property(seed):
+    """Property: |r(k)| <= 1 for all lags on arbitrary data."""
+    x = np.random.default_rng(seed).uniform(size=256)
+    r = autocorrelation(x, max_lag=100)
+    assert np.all(np.abs(r) <= 1.0 + 1e-9)

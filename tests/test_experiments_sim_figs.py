@@ -1,0 +1,155 @@
+"""Tests for the simulation figure experiments (Figs. 14-17)."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import fig14_qc, fig15_smg, fig16_model_vs_trace, fig17_loss_process
+
+
+@pytest.fixture(scope="module")
+def qc_result(small_trace):
+    return fig14_qc.run(
+        small_trace,
+        n_sources=(1, 5),
+        specs=(("overall", 0.0), ("overall", 1e-3)),
+        n_frames=8_000,
+        n_points=6,
+    )
+
+
+class TestFig14:
+    def test_all_curves_present(self, qc_result):
+        assert len(qc_result["curves"]) == 4
+        assert (1, "overall", 0.0) in qc_result["curves"]
+
+    def test_knee_exists_on_every_curve(self, qc_result):
+        for key, (cap_mbps, tmax) in qc_result["knees"].items():
+            assert cap_mbps > 0
+            assert tmax >= 0
+
+    def test_zero_loss_needs_more_delay_at_same_capacity(self, qc_result):
+        """Vertical ordering: P_l=0 above P_l=1e-3 (same capacities)."""
+        strict = qc_result["curves"][(1, "overall", 0.0)]
+        loose = qc_result["curves"][(1, "overall", 1e-3)]
+        np.testing.assert_allclose(strict.capacity_per_source, loose.capacity_per_source)
+        assert np.all(strict.tmax_ms >= loose.tmax_ms - 1e-9)
+
+    def test_insensitive_to_buffer_until_knee(self, qc_result):
+        """The paper: 'bandwidth requirement is quite insensitive to
+        the buffer size until the buffer delay is decreased to a few
+        milliseconds' -- i.e. the delay axis spans orders of magnitude
+        over a modest capacity range."""
+        curve = qc_result["curves"][(1, "overall", 0.0)]
+        positive = curve.tmax_ms[curve.tmax_ms > 0]
+        assert positive.max() / max(positive.min(), 1e-6) > 100
+
+    def test_wes_and_overall_same_family(self, small_trace):
+        """The two QOS specs produce nested curves of the same shape
+        (the paper's equivalence argument)."""
+        r = fig14_qc.run(
+            small_trace,
+            n_sources=(1,),
+            specs=(("overall", 1e-3), ("wes", 1e-2)),
+            n_frames=6_000,
+            n_points=5,
+        )
+        overall = r["curves"][(1, "overall", 1e-3)]
+        wes = r["curves"][(1, "wes", 1e-2)]
+        # Both decay monotonically in capacity.
+        assert np.all(np.diff(overall.tmax_ms) <= 1e-9)
+        assert np.all(np.diff(wes.tmax_ms) <= 1e-9)
+
+
+class TestFig15:
+    @pytest.fixture(scope="class")
+    def smg(self, small_trace):
+        return fig15_smg.run(
+            small_trace, n_values=(1, 2, 5, 20), loss_targets=(0.0, 1e-3), n_frames=8_000
+        )
+
+    def test_capacity_monotone_in_n(self, smg):
+        for target, result in smg["curves"].items():
+            caps = result["capacity_per_source"]
+            assert np.all(np.diff(caps) < 1e-9), target
+
+    def test_n1_near_peak_n20_near_mean(self, smg):
+        zero = smg["curves"][0.0]
+        caps = zero["capacity_per_source"]
+        assert caps[0] > 0.75 * zero["peak_rate"]
+        assert caps[-1] < zero["mean_rate"] * 1.35
+
+    def test_substantial_gain_at_5(self, smg):
+        assert smg["mean_gain_at_5"] > 0.5
+
+    def test_lossy_below_lossless(self, smg):
+        strict = smg["curves"][0.0]["capacity_per_source"]
+        loose = smg["curves"][1e-3]["capacity_per_source"]
+        assert np.all(loose <= strict + 1e-9)
+
+
+class TestFig16:
+    @pytest.fixture(scope="class")
+    def comparison(self, small_trace):
+        return fig16_model_vs_trace.run(
+            small_trace, n_sources=(1, 5), n_frames=8_000, n_buffers=5, seed=3
+        )
+
+    def test_all_sources_present(self, comparison):
+        for n in (1, 5):
+            assert set(comparison["curves"][n]) == {
+                "trace",
+                "full-model",
+                "gaussian-farima",
+                "iid-gamma-pareto",
+            }
+
+    def test_full_model_closest_to_trace(self, comparison):
+        """The paper's central model-validation claim."""
+        offsets = comparison["offsets"][1]
+        assert offsets["full-model"] <= offsets["gaussian-farima"]
+        assert offsets["full-model"] <= offsets["iid-gamma-pareto"] + 0.05
+
+    def test_agreement_improves_with_n(self, comparison):
+        """As N grows the models converge toward the trace."""
+        assert (
+            comparison["offsets"][5]["full-model"]
+            <= comparison["offsets"][1]["full-model"] + 0.05
+        )
+
+    def test_capacity_curves_decreasing_in_buffer(self, comparison):
+        for n, per_n in comparison["curves"].items():
+            for name, caps in per_n.items():
+                assert np.all(np.diff(caps) <= 1e-9), (n, name)
+
+    def test_fitted_model_reasonable(self, comparison):
+        model = comparison["model"]
+        assert 0.6 < model.hurst < 0.95
+        assert model.mu_gamma == pytest.approx(27_791, rel=0.05)
+
+
+class TestFig17:
+    @pytest.fixture(scope="class")
+    def processes(self, small_trace):
+        return fig17_loss_process.run(small_trace, n_sources=(1, 20), n_frames=10_000)
+
+    def test_overall_loss_near_target(self, processes):
+        for n, p in processes["processes"].items():
+            assert p["overall_loss"] <= processes["target_loss"] * 1.5
+            assert p["overall_loss"] > 0
+
+    def test_single_source_losses_concentrated(self, processes):
+        """The paper's Fig. 17 contrast: same P_l, very different
+        error processes."""
+        p1 = processes["processes"][1]
+        p20 = processes["processes"][20]
+        assert p1["concentration"] > p20["concentration"]
+
+    def test_loss_rate_series_shapes(self, processes):
+        p = processes["processes"][1]
+        assert p["time_minutes"].size == p["loss_rate"].size
+        assert np.all(p["loss_rate"] >= 0)
+
+    def test_multiplexed_needs_less_capacity(self, processes):
+        p1 = processes["processes"][1]
+        p20 = processes["processes"][20]
+        assert p20["capacity_per_source"] < p1["capacity_per_source"]

@@ -1,0 +1,83 @@
+"""Tests for the Table 1-3 experiment modules."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import table1, table2, table3
+
+
+class TestTable1:
+    def test_trace_level_values(self, small_trace):
+        result = table1.run(small_trace)
+        assert result["avg_bandwidth_mbps"] == pytest.approx(5.34, rel=0.01)
+        assert result["avg_compression_ratio"] == pytest.approx(8.70, rel=0.01)
+        assert result["frame_rate"] == 24.0
+        assert result["slices_per_frame"] == 30
+
+    def test_paper_reference_attached(self, small_trace):
+        result = table1.run(small_trace)
+        assert result["paper"]["video_frames"] == 171_000
+
+    def test_codec_run(self):
+        result = table1.run_codec(n_frames=4, height=48, width=64)
+        assert result["n_frames"] == 4
+        assert result["avg_compression_ratio"] > 1.0
+        assert result["trace"].has_slice_data
+
+    def test_codec_quant_step_controls_rate(self):
+        fine = table1.run_codec(n_frames=2, height=48, width=64, quant_step=4.0)
+        coarse = table1.run_codec(n_frames=2, height=48, width=64, quant_step=64.0)
+        assert coarse["mean_bytes_per_frame"] < fine["mean_bytes_per_frame"]
+
+
+class TestTable2:
+    def test_frame_statistics_close_to_paper(self, small_trace):
+        result = table2.run(small_trace)
+        frame = result["frame"]
+        paper = result["paper"]["frame"]
+        assert frame.mean == pytest.approx(paper["mean"], rel=0.01)
+        assert frame.std == pytest.approx(paper["std"], rel=0.02)
+        assert frame.coefficient_of_variation == pytest.approx(
+            paper["coefficient_of_variation"], abs=0.01
+        )
+
+    def test_slice_statistics_close_to_paper(self, small_trace):
+        result = table2.run(small_trace)
+        sl = result["slice"]
+        paper = result["paper"]["slice"]
+        assert sl.mean == pytest.approx(paper["mean"], rel=0.01)
+        assert sl.coefficient_of_variation == pytest.approx(
+            paper["coefficient_of_variation"], abs=0.03
+        )
+
+    def test_time_units(self, small_trace):
+        result = table2.run(small_trace)
+        assert result["frame"].time_unit_ms == pytest.approx(41.67, abs=0.01)
+        assert result["slice"].time_unit_ms == pytest.approx(1.389, abs=0.001)
+
+
+class TestTable3:
+    def test_all_estimates_in_band(self, small_trace):
+        result = table3.run(small_trace)
+        assert 0.70 < result["variance_time"] < 0.95
+        assert 0.70 < result["rs"] < 0.95
+        assert 0.70 < result["rs_aggregated"] < 0.98
+        low, high = result["rs_varied"]
+        assert low <= high
+        assert 0.65 < low and high < 1.0
+
+    def test_whittle_result_has_ci(self, small_trace):
+        result = table3.run(small_trace)
+        w = result["whittle"]
+        assert w.ci_low < w.hurst < w.ci_high
+
+    def test_estimates_mutually_consistent(self, small_trace):
+        """Paper: all estimates fall well within Whittle's CI band.
+        We allow a slightly wider engineering band at reduced length."""
+        result = table3.run(small_trace)
+        estimates = [result["variance_time"], result["rs"], result["rs_aggregated"]]
+        assert max(estimates) - min(estimates) < 0.2
+
+    def test_paper_reference(self, small_trace):
+        result = table3.run(small_trace)
+        assert result["paper"]["whittle"] == 0.80

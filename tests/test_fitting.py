@@ -1,0 +1,82 @@
+"""Tests for empirical CDF helpers and the tail-slope estimator."""
+
+import numpy as np
+import pytest
+
+from repro.distributions import Pareto
+from repro.distributions.fitting import (
+    empirical_ccdf,
+    empirical_cdf,
+    fit_all_candidates,
+    fit_pareto_tail_slope,
+)
+
+
+class TestEmpiricalCurves:
+    def test_cdf_values(self):
+        x, f = empirical_cdf([3.0, 1.0, 2.0])
+        np.testing.assert_array_equal(x, [1.0, 2.0, 3.0])
+        np.testing.assert_allclose(f, [1 / 3, 2 / 3, 1.0])
+
+    def test_ccdf_values(self):
+        x, s = empirical_ccdf([3.0, 1.0, 2.0])
+        np.testing.assert_array_equal(x, [1.0, 2.0, 3.0])
+        np.testing.assert_allclose(s, [2 / 3, 1 / 3, 0.0])
+
+    def test_cdf_ccdf_complement(self):
+        data = np.random.default_rng(0).uniform(size=100)
+        x1, f = empirical_cdf(data)
+        x2, s = empirical_ccdf(data)
+        np.testing.assert_array_equal(x1, x2)
+        np.testing.assert_allclose(f + s, 1.0)
+
+
+class TestTailSlope:
+    def test_recovers_pareto_shape(self, rng):
+        data = Pareto(1.0, 3.0).sample(100_000, rng=rng)
+        a = fit_pareto_tail_slope(data, tail_fraction=0.05)
+        assert a == pytest.approx(3.0, rel=0.15)
+
+    def test_exponential_tail_reads_steep(self, rng):
+        """An exponential tail is 'infinitely steep' on log-log axes;
+        the estimator should return a much larger slope than for a
+        comparable Pareto."""
+        expo = rng.exponential(1.0, size=100_000) + 1.0
+        a_exp = fit_pareto_tail_slope(expo, tail_fraction=0.02)
+        pareto = Pareto(1.0, 3.0).sample(100_000, rng=rng)
+        a_par = fit_pareto_tail_slope(pareto, tail_fraction=0.02)
+        assert a_exp > 2.0 * a_par
+
+    def test_rejects_nonpositive_data(self):
+        with pytest.raises(ValueError):
+            fit_pareto_tail_slope(np.linspace(-1, 10, 200))
+
+    def test_rejects_bad_fraction(self):
+        data = np.random.default_rng(1).pareto(2.0, 1000) + 1
+        with pytest.raises(ValueError):
+            fit_pareto_tail_slope(data, tail_fraction=1.5)
+
+    def test_rejects_whole_sample_tail(self):
+        data = np.random.default_rng(1).pareto(2.0, 100) + 1
+        with pytest.raises(ValueError):
+            fit_pareto_tail_slope(data, tail_fraction=0.999, min_points=100)
+
+
+class TestFitAllCandidates:
+    def test_returns_all_models(self, small_series):
+        models = fit_all_candidates(small_series)
+        assert set(models) == {"normal", "gamma", "lognormal", "pareto", "gamma_pareto"}
+
+    def test_pareto_line_passes_through_hybrid_tail(self, small_series):
+        """The standalone Pareto must coincide with the hybrid's tail
+        (it is the straight reference line of Fig. 4)."""
+        models = fit_all_candidates(small_series)
+        hybrid = models["gamma_pareto"]
+        pareto = models["pareto"]
+        x = np.geomspace(hybrid.x_th * 1.05, hybrid.x_th * 3, 10)
+        np.testing.assert_allclose(pareto.sf(x), hybrid.sf(x), rtol=1e-9)
+
+    def test_moment_fits_match_sample(self, small_series):
+        models = fit_all_candidates(small_series)
+        assert models["normal"].mu == pytest.approx(float(np.mean(small_series)))
+        assert models["gamma"].mean() == pytest.approx(float(np.mean(small_series)), rel=1e-9)

@@ -1,0 +1,107 @@
+"""Tests for goodness-of-fit utilities and the CSV exporter."""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.distributions import Gamma, Normal, ks_statistic, qq_points, score_candidates
+from repro.distributions.gof import chi_square_statistic
+from repro.experiments.export import export_all, write_csv
+
+
+class TestKS:
+    def test_zero_for_own_quantiles(self):
+        d = Normal(0.0, 1.0)
+        sample = d.ppf((np.arange(1, 1001) - 0.5) / 1000)
+        assert ks_statistic(sample, d) < 0.002
+
+    def test_detects_wrong_model(self, rng):
+        data = rng.normal(0.0, 1.0, size=5_000)
+        good = ks_statistic(data, Normal(0.0, 1.0))
+        bad = ks_statistic(data, Normal(1.0, 1.0))
+        assert bad > 5 * good
+
+    def test_bounded(self, rng):
+        data = rng.uniform(size=100)
+        assert 0.0 <= ks_statistic(data, Normal(0.0, 1.0)) <= 1.0
+
+
+class TestChiSquare:
+    def test_near_one_for_correct_model(self, rng):
+        d = Gamma.from_moments(100.0, 20.0)
+        data = d.sample(50_000, rng=rng)
+        assert chi_square_statistic(data, d) < 2.5
+
+    def test_large_for_wrong_model(self, rng):
+        data = rng.normal(100.0, 20.0, size=20_000)
+        wrong = Gamma.from_moments(150.0, 10.0)
+        assert chi_square_statistic(data, wrong) > 10.0
+
+
+class TestQQ:
+    def test_identity_for_correct_model(self, rng):
+        d = Normal(5.0, 2.0)
+        data = d.sample(100_000, rng=rng)
+        model_q, sample_q = qq_points(data, d, n_points=50)
+        np.testing.assert_allclose(model_q, sample_q, atol=0.15)
+
+    def test_shapes(self, rng):
+        model_q, sample_q = qq_points(rng.uniform(size=100), Normal(0, 1), n_points=33)
+        assert model_q.shape == sample_q.shape == (33,)
+
+
+class TestScoreboard:
+    def test_hybrid_wins_on_trace(self, small_series):
+        scores = score_candidates(small_series)
+        assert set(scores) == {"normal", "gamma", "lognormal", "pareto", "gamma_pareto"}
+        # The hybrid dominates on KS and the tail criterion.
+        assert scores["gamma_pareto"].ks <= scores["normal"].ks
+        assert scores["gamma_pareto"].tail_log_error < scores["normal"].tail_log_error
+
+    def test_pareto_skips_body_scores(self, small_series):
+        scores = score_candidates(small_series)
+        assert np.isnan(scores["pareto"].ks)
+        assert np.isfinite(scores["pareto"].tail_log_error)
+
+
+class TestCSVExport:
+    def test_write_csv_roundtrip(self, tmp_path):
+        path = write_csv(tmp_path / "t.csv", {"a": [1.0, 2.0], "b": [3.0, 4.0]})
+        lines = open(path).read().splitlines()
+        assert lines[0] == "a,b"
+        assert lines[1] == "1,3"
+
+    def test_write_csv_broadcasts_scalars(self, tmp_path):
+        path = write_csv(tmp_path / "t.csv", {"x": [1.0, 2.0, 3.0], "c": 7.0})
+        lines = open(path).read().splitlines()
+        assert len(lines) == 4
+        assert lines[3] == "3,7"
+
+    def test_write_csv_rejects_ragged(self, tmp_path):
+        with pytest.raises(ValueError):
+            write_csv(tmp_path / "t.csv", {"a": [1.0, 2.0], "b": [1.0, 2.0, 3.0]})
+
+    def test_export_all_quick_run(self, tmp_path, small_trace):
+        from repro.experiments.runner import run_all
+
+        results = run_all(trace=small_trace, quick=True, sim_frames=6_000)
+        written = export_all(results, tmp_path / "csv")
+        names = {os.path.basename(p) for p in written}
+        # One file per analysis figure, several for the sim families.
+        for expected in (
+            "fig01_timeseries.csv", "fig04_ccdf.csv", "fig07_acf.csv",
+            "fig11_variance_time.csv", "fig12_pox.csv",
+        ):
+            assert expected in names
+        assert any(name.startswith("fig14_qc_") for name in names)
+        assert any(name.startswith("fig16_model_vs_trace_") for name in names)
+        # Every file is a parseable CSV with a header.
+        for path in written:
+            lines = open(path).read().splitlines()
+            assert len(lines) >= 2
+            assert "," in lines[0] or lines[0]
+
+    def test_export_partial_results(self, tmp_path):
+        written = export_all({}, tmp_path / "empty")
+        assert written == []

@@ -1,0 +1,109 @@
+"""Tests for the marginal analysis helpers (Figs. 3-6 machinery)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.marginals import (
+    ccdf_model_comparison,
+    histogram_density,
+    left_tail_comparison,
+    segment_histograms,
+)
+
+
+class TestHistogramDensity:
+    def test_integrates_to_one(self, rng):
+        x = rng.normal(10.0, 2.0, size=20_000)
+        centers, density = histogram_density(x, n_bins=50)
+        width = centers[1] - centers[0]
+        assert np.sum(density) * width == pytest.approx(1.0, rel=1e-6)
+
+    def test_respects_range(self, rng):
+        x = rng.uniform(size=1000)
+        centers, _ = histogram_density(x, n_bins=10, data_range=(0.0, 2.0))
+        assert centers[-1] < 2.0
+        assert centers[0] > 0.0
+
+    def test_matches_known_density(self, rng):
+        x = rng.normal(0.0, 1.0, size=200_000)
+        centers, density = histogram_density(x, n_bins=80)
+        peak = density[np.argmin(np.abs(centers))]
+        assert peak == pytest.approx(1.0 / np.sqrt(2 * np.pi), rel=0.05)
+
+
+class TestSegmentHistograms:
+    def test_structure(self, small_series):
+        out = segment_histograms(small_series, n_segments=5, segment_length=2000)
+        assert len(out["segments"]) == 5
+        centers, density = out["full"]
+        assert centers.size == density.size
+
+    def test_segments_evenly_spaced(self, small_series):
+        out = segment_histograms(small_series, n_segments=3, segment_length=1000)
+        starts = [s[0] for s in out["segments"]]
+        assert starts[0] == 0
+        assert starts[-1] == small_series.size - 1000
+
+    def test_shared_bin_range(self, small_series):
+        out = segment_histograms(small_series, n_segments=2, segment_length=1000)
+        c0 = out["segments"][0][1]
+        c1 = out["segments"][1][1]
+        np.testing.assert_array_equal(c0, c1)
+
+    def test_rejects_oversized_segment(self, small_series):
+        with pytest.raises(ValueError):
+            segment_histograms(small_series, segment_length=small_series.size + 1)
+
+
+class TestCCDFComparison:
+    def test_contains_all_models(self, small_series):
+        out = ccdf_model_comparison(small_series)
+        for key in ("normal", "gamma", "lognormal", "pareto", "gamma_pareto", "empirical", "x"):
+            assert key in out
+
+    def test_curves_are_survival_functions(self, small_series):
+        out = ccdf_model_comparison(small_series)
+        for key in ("normal", "gamma", "lognormal", "gamma_pareto"):
+            curve = out[key]
+            assert np.all(curve >= -1e-12)
+            assert np.all(curve <= 1.0 + 1e-12)
+            assert np.all(np.diff(curve) <= 1e-9)
+
+    def test_empirical_matches_direct_count(self, small_series):
+        out = ccdf_model_comparison(small_series)
+        x0 = out["x"][50]
+        expected = np.mean(small_series > x0)
+        assert out["empirical"][50] == pytest.approx(expected, abs=1e-9)
+
+    def test_normal_tail_decays_fastest(self, small_series):
+        """The paper's Fig. 4 ordering at the extreme tail."""
+        out = ccdf_model_comparison(small_series)
+        x_far = -10  # last grid point, deepest tail
+        assert out["normal"][x_far] < out["gamma"][x_far]
+        assert out["gamma"][x_far] < out["gamma_pareto"][x_far] * 10
+
+
+class TestLeftTailComparison:
+    def test_curves_are_cdfs(self, small_series):
+        out = left_tail_comparison(small_series)
+        for key in ("normal", "gamma", "lognormal", "gamma_pareto"):
+            curve = out[key]
+            assert np.all((curve >= -1e-12) & (curve <= 1.0 + 1e-12))
+            assert np.all(np.diff(curve) >= -1e-9)
+
+    def test_grid_spans_min_to_median(self, small_series):
+        out = left_tail_comparison(small_series)
+        assert out["x"][0] == pytest.approx(np.min(small_series))
+        assert out["x"][-1] == pytest.approx(np.median(small_series), rel=0.01)
+
+    def test_gamma_fits_left_tail(self, small_series):
+        """Paper: 'the Gamma distribution provides an adequate fit for
+        the lower end'."""
+        from repro.experiments.fig05_lefttail import left_tail_log_deviation
+
+        out = left_tail_comparison(small_series)
+        assert left_tail_log_deviation(out, "gamma") < 0.5
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            left_tail_comparison(np.linspace(-1, 100, 500))

@@ -1,0 +1,99 @@
+"""Tests for the classical Markov-modulated fluid model."""
+
+import numpy as np
+import pytest
+
+from repro.core.markov_fluid import MarkovFluidModel
+
+
+@pytest.fixture(scope="module")
+def model():
+    return MarkovFluidModel(n_minisources=20, on_probability=0.4, rate_per_source=1000.0, time_constant=10.0)
+
+
+class TestMoments:
+    def test_mean_formula(self, model):
+        assert model.mean() == pytest.approx(20 * 0.4 * 1000.0)
+
+    def test_var_formula(self, model):
+        assert model.var() == pytest.approx(20 * 0.4 * 0.6 * 1000.0**2)
+
+    def test_acf_exponential(self, model):
+        acf = model.acf(3)
+        np.testing.assert_allclose(acf, np.exp(-np.arange(4) / 10.0))
+
+
+class TestGeneration:
+    def test_sample_mean(self, model, rng):
+        x = model.generate(50_000, rng=rng)
+        assert np.mean(x) == pytest.approx(model.mean(), rel=0.05)
+
+    def test_sample_variance(self, model, rng):
+        x = model.generate(50_000, rng=rng)
+        assert np.var(x) == pytest.approx(model.var(), rel=0.15)
+
+    def test_sample_acf(self, model, rng):
+        x = model.generate(100_000, rng=rng)
+        r1 = np.corrcoef(x[:-1], x[1:])[0, 1]
+        assert r1 == pytest.approx(np.exp(-1 / 10.0), abs=0.03)
+
+    def test_rate_quantized_to_sources(self, model, rng):
+        """Output is always (number on) * A."""
+        x = model.generate(2_000, rng=rng)
+        counts = x / model.rate_per_source
+        np.testing.assert_allclose(counts, np.round(counts))
+        assert counts.max() <= model.n_minisources
+
+    def test_is_srd(self, model, rng):
+        from repro.analysis.hurst import variance_time
+
+        x = model.generate(2**15, rng=rng)
+        est = variance_time(x, fit_range=(100, 2000))
+        assert est.hurst < 0.62
+
+    def test_reproducible(self, model):
+        a = model.generate(500, rng=np.random.default_rng(1))
+        b = model.generate(500, rng=np.random.default_rng(1))
+        np.testing.assert_array_equal(a, b)
+
+
+class TestFit:
+    def test_moment_match(self, small_series):
+        fitted = MarkovFluidModel.fit(small_series, n_minisources=20)
+        assert fitted.mean() == pytest.approx(float(np.mean(small_series)), rel=1e-9)
+        assert fitted.var() == pytest.approx(float(np.var(small_series)), rel=1e-9)
+
+    def test_time_constant_positive(self, small_series):
+        fitted = MarkovFluidModel.fit(small_series)
+        assert fitted.time_constant > 1.0
+
+    def test_underestimates_real_buffers(self, small_series):
+        """The paper's warning, on the historical model itself.
+
+        Classical Markov-fluid fits were calibrated on seconds-long
+        test sequences, i.e. against the *short-lag* ACF (here lags
+        <= 10).  Such a model matches mean, variance and short-range
+        correlations of the trace yet needs a several-fold smaller
+        zero-loss buffer -- the "overly optimistic" failure mode.
+        (Fitting tau against hundreds of lags narrows the gap at this
+        trace length but can never close it: the LRD excursions grow
+        with the horizon while the exponential model's saturate.)"""
+        from repro.simulation.queue import max_backlog
+
+        x = small_series
+        fitted = MarkovFluidModel.fit(x, acf_fit_lags=10)
+        y = fitted.generate(x.size, rng=np.random.default_rng(5))
+        c = float(np.mean(x)) * 1.10
+        assert max_backlog(x, c) > 1.8 * max_backlog(y, c)
+
+    def test_rejects_degenerate_data(self):
+        with pytest.raises(ValueError):
+            MarkovFluidModel.fit(np.ones(1000))
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            MarkovFluidModel(0, 0.5, 1.0, 10.0)
+        with pytest.raises(ValueError):
+            MarkovFluidModel(10, 1.0, 1.0, 10.0)
+        with pytest.raises(ValueError):
+            MarkovFluidModel(10, 0.5, 0.0, 10.0)

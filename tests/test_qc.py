@@ -1,0 +1,193 @@
+"""Tests for the Q-C trade-off machinery (capacity/buffer searches,
+curves, knee, SMG)."""
+
+import numpy as np
+import pytest
+
+from repro.simulation.multiplex import multiplex_series, random_lags
+from repro.simulation.qc import (
+    knee_point,
+    qc_curve,
+    required_buffer,
+    required_capacity,
+    smg_curve,
+)
+from repro.simulation.queue import max_backlog, simulate_queue
+
+
+@pytest.fixture(scope="module")
+def series(small_series):
+    return small_series[:8_000]
+
+
+class TestRequiredBuffer:
+    def test_zero_target_equals_drawdown(self, series):
+        c = float(series.mean()) * 1.3
+        q = required_buffer([series], c, 0.0)
+        assert q == pytest.approx(max_backlog(series, c))
+
+    def test_achieves_target(self, series):
+        c = float(series.mean()) * 1.1
+        target = 1e-3
+        q = required_buffer([series], c, target)
+        assert simulate_queue(series, c, q).loss_rate <= target * 1.02
+
+    def test_near_minimal(self, series):
+        """A 20% smaller buffer must violate the target."""
+        c = float(series.mean()) * 1.1
+        target = 1e-3
+        q = required_buffer([series], c, target)
+        if q > 0:
+            assert simulate_queue(series, c, 0.8 * q).loss_rate > target
+
+    def test_zero_when_capacity_huge(self, series):
+        q = required_buffer([series], float(series.max()), 1e-3)
+        assert q == 0.0
+
+    def test_averages_over_draws(self, series, rng):
+        lags = [random_lags(2, series.size, rng=rng) for _ in range(3)]
+        sets = [multiplex_series(series, l) for l in lags]
+        c = 2 * float(series.mean()) * 1.2
+        q = required_buffer(sets, c, 1e-3)
+        losses = [simulate_queue(a, c, q).loss_rate for a in sets]
+        assert np.mean(losses) <= 1e-3 * 1.05
+
+    def test_wes_metric(self, series):
+        c = float(series.mean()) * 1.3
+        q = required_buffer([series], c, 1e-2, metric="wes", slots_per_second=24)
+        from repro.simulation.metrics import worst_errored_second_loss
+
+        result = simulate_queue(series, c, q, return_series=True)
+        wes = worst_errored_second_loss(result.loss_series, series, 24)
+        assert wes <= 1e-2 * 1.1
+
+    def test_rejects_empty_sets(self):
+        with pytest.raises(ValueError):
+            required_buffer([], 10.0, 0.0)
+
+
+class TestRequiredCapacity:
+    def test_zero_target(self, series):
+        q = 100_000.0
+        c = required_capacity([series], q, 0.0)
+        assert simulate_queue(series, c, q).lost_bytes == pytest.approx(0.0, abs=1.0)
+
+    def test_lossy_target(self, series):
+        q = 50_000.0
+        target = 1e-3
+        c = required_capacity([series], q, target)
+        assert simulate_queue(series, c, q).loss_rate <= target * 1.02
+        assert simulate_queue(series, c * 0.95, q).loss_rate > target * 0.5
+
+    def test_looser_target_needs_less_capacity(self, series):
+        q = 50_000.0
+        c_strict = required_capacity([series], q, 1e-5)
+        c_loose = required_capacity([series], q, 1e-2)
+        assert c_loose < c_strict
+
+    def test_bounded_by_mean_and_peak(self, series):
+        q = 10_000.0
+        c = required_capacity([series], q, 1e-4)
+        assert series.mean() <= c <= series.max()
+
+
+class TestQCCurve:
+    def test_zero_loss_curve_shape(self, series, rng):
+        curve = qc_curve(series, 1 / 24.0, n_sources=1, target_loss=0.0, n_points=8, rng=rng)
+        assert curve.capacity_per_source.size == 8
+        # More capacity -> less buffer -> less delay (monotone trend).
+        assert curve.tmax_ms[0] > curve.tmax_ms[-1]
+        assert np.all(np.diff(curve.tmax_ms) <= 1e-9)
+
+    def test_capacity_in_mbps(self, series, rng):
+        curve = qc_curve(series, 1 / 24.0, n_sources=1, target_loss=0.0, n_points=4, rng=rng)
+        expected = curve.capacity_per_source * 8 * 24 / 1e6
+        np.testing.assert_allclose(curve.capacity_per_source_mbps, expected)
+
+    def test_looser_loss_curve_is_lower(self, series, rng):
+        """For the same capacity, allowing loss shrinks the required
+        buffer (Fig. 14's vertical ordering)."""
+        caps = np.array([series.mean() * 1.15])
+        strict = qc_curve(series, 1 / 24.0, 1, 0.0, capacities=caps, rng=rng)
+        loose = qc_curve(series, 1 / 24.0, 1, 1e-2, capacities=caps, rng=rng)
+        assert loose.tmax_ms[0] <= strict.tmax_ms[0]
+
+    def test_multiplexed_needs_less_per_source(self, series, rng):
+        """At matched T_max, 5 sources need less per-source capacity
+        than 1 (statistical multiplexing gain in Q-C form)."""
+        c1 = qc_curve(series, 1 / 24.0, 1, 0.0, n_points=10, rng=rng)
+        c5 = qc_curve(series, 1 / 24.0, 5, 0.0, n_points=10, rng=rng, n_lag_draws=2)
+        # Compare capacity needed for T_max <= 10 ms.
+        cap1 = c1.capacity_per_source[np.searchsorted(-c1.tmax_ms, -10.0)]
+        cap5 = c5.capacity_per_source[np.searchsorted(-c5.tmax_ms, -10.0)]
+        assert cap5 < cap1
+
+    def test_rejects_bad_capacities(self, series, rng):
+        with pytest.raises(ValueError):
+            qc_curve(series, 1 / 24.0, 1, 0.0, capacities=[-1.0], rng=rng)
+
+
+class TestKnee:
+    def test_synthetic_l_curve(self):
+        """A sharp synthetic L-shape has its knee at the corner."""
+        from repro.simulation.qc import QCCurve
+
+        x = np.linspace(1.0, 2.0, 21)
+        y = np.where(x < 1.5, 10.0 ** (4 - 8 * (x - 1.0)), 10.0 ** (0.2 - 0.4 * (x - 1.5)))
+        curve = QCCurve(
+            n_sources=1,
+            target_loss=0.0,
+            metric="overall",
+            slot_seconds=1 / 24.0,
+            capacity_per_source=x,
+            buffer_bytes=y,
+            tmax_ms=y,
+        )
+        knee = knee_point(curve)
+        assert abs(x[knee] - 1.5) < 0.15
+
+    def test_knee_on_real_curve(self, series, rng):
+        curve = qc_curve(series, 1 / 24.0, 1, 0.0, n_points=12, rng=rng)
+        knee = knee_point(curve)
+        assert 0 < knee < curve.capacity_per_source.size - 1
+
+    def test_requires_three_points(self):
+        from repro.simulation.qc import QCCurve
+
+        curve = QCCurve(
+            n_sources=1, target_loss=0.0, metric="overall", slot_seconds=1.0,
+            capacity_per_source=np.array([1.0, 2.0]),
+            buffer_bytes=np.array([1.0, 0.5]),
+            tmax_ms=np.array([1.0, 0.5]),
+        )
+        with pytest.raises(ValueError):
+            knee_point(curve)
+
+
+class TestSMG:
+    def test_capacity_decreases_with_n(self, series, rng):
+        result = smg_curve(series, 1 / 24.0, n_values=(1, 2, 5), target_loss=0.0, rng=rng, n_lag_draws=2)
+        caps = result["capacity_per_source"]
+        assert caps[0] > caps[1] > caps[2]
+
+    def test_n1_near_peak_and_bounds(self, series, rng):
+        result = smg_curve(series, 1 / 24.0, n_values=(1,), target_loss=0.0, tmax_ms=2.0, rng=rng)
+        cap = result["capacity_per_source"][0]
+        assert result["mean_rate"] < cap <= result["peak_rate"] * 1.001
+        assert cap > 0.8 * result["peak_rate"]
+
+    def test_gain_fraction_definition(self, series, rng):
+        result = smg_curve(series, 1 / 24.0, n_values=(1, 5), target_loss=0.0, rng=rng, n_lag_draws=2)
+        caps = result["capacity_per_source"]
+        expected = (result["peak_rate"] - caps) / (result["peak_rate"] - result["mean_rate"])
+        np.testing.assert_allclose(result["gain_fraction"], expected)
+
+    def test_lossy_target_needs_less(self, series, rng):
+        strict = smg_curve(series, 1 / 24.0, n_values=(2,), target_loss=0.0, rng=np.random.default_rng(4), n_lag_draws=2)
+        loose = smg_curve(series, 1 / 24.0, n_values=(2,), target_loss=1e-2, rng=np.random.default_rng(4), n_lag_draws=2)
+        assert loose["capacity_per_source"][0] <= strict["capacity_per_source"][0] * 1.01
+
+    def test_substantial_gain_by_n5(self, series, rng):
+        """The paper's headline: ~72% of the peak-to-mean gain by N=5."""
+        result = smg_curve(series, 1 / 24.0, n_values=(5,), target_loss=0.0, rng=rng)
+        assert result["gain_fraction"][0] > 0.5

@@ -1,0 +1,156 @@
+"""Tests for scene-change detection and the rate-controlled codec."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.scenedetect import analyze_scenes, detect_scene_changes
+from repro.video.codec import IntraframeCodec
+from repro.video.ratecontrol import RateControlledCodec
+from repro.video.synthetic import SyntheticMovie
+
+
+@pytest.fixture(scope="module")
+def clean_trace():
+    """A trace with weak within-scene noise: scenes dominate."""
+    from repro.video.starwars import synthesize_starwars_trace
+
+    # 60k frames gives the duration-tail fit enough large scenes for a
+    # stable slope (40k leaves the alpha estimate right at the edge).
+    return synthesize_starwars_trace(
+        n_frames=60_000, seed=3, with_slices=False, fgn_weight=0.2, ar1_weight=0.15
+    )
+
+
+class TestDetectSceneChanges:
+    def test_synthetic_step_series(self):
+        """Exact recovery on a noiseless piecewise-constant series."""
+        x = np.concatenate((
+            np.full(200, 1000.0), np.full(150, 2000.0), np.full(250, 800.0)
+        ))
+        boundaries = detect_scene_changes(x, window=10, threshold=0.3, min_scene_frames=20)
+        assert boundaries[0] == 0
+        assert any(abs(b - 200) <= 10 for b in boundaries)
+        assert any(abs(b - 350) <= 10 for b in boundaries)
+        assert boundaries.size == 3
+
+    def test_no_false_positives_on_flat_series(self, rng):
+        x = 1000.0 + rng.normal(0, 10.0, size=2_000)
+        boundaries = detect_scene_changes(x, window=12, threshold=0.35)
+        assert boundaries.size == 1  # just the start
+
+    def test_min_scene_length_respected(self, clean_trace):
+        boundaries = detect_scene_changes(
+            clean_trace.frame_bytes, min_scene_frames=30, threshold=0.15, window=8
+        )
+        assert np.all(np.diff(boundaries) >= 30)
+
+    def test_recovers_scripted_boundaries(self, clean_trace):
+        """A good fraction of detected boundaries align with the
+        synthesizer's scripted scene changes (within one window)."""
+        from repro.video.scenes import generate_scene_script
+
+        rng = np.random.default_rng(3)
+        script = generate_scene_script(
+            clean_trace.n_frames, rng=rng, duration_tail_shape=1.4,
+            min_scene_frames=24, arc_weight=0.6,
+        )
+        true_starts = np.array([s.start_frame for s in script.scenes])
+        detected = detect_scene_changes(
+            clean_trace.frame_bytes, window=8, threshold=0.15, min_scene_frames=16
+        )
+        hits = sum(np.min(np.abs(true_starts - b)) <= 8 for b in detected[1:])
+        precision = hits / max(detected.size - 1, 1)
+        assert precision > 0.6
+
+    def test_rejects_short_series(self):
+        with pytest.raises(ValueError):
+            detect_scene_changes(np.ones(10), window=12)
+
+
+class TestAnalyzeScenes:
+    def test_structure(self, clean_trace):
+        sa = analyze_scenes(clean_trace.frame_bytes, threshold=0.15, window=8,
+                            min_scene_frames=16)
+        assert sa.n_scenes > 50
+        assert sa.durations.sum() == clean_trace.n_frames
+        assert sa.scene_levels.size == sa.n_scenes
+        assert sa.mean_duration > sa.median_duration  # heavy tail
+
+    def test_heavy_tail_detected(self, clean_trace):
+        """The duration tail of a movie-like trace is heavy (alpha in
+        the LRD-inducing range), so the implied H exceeds 0.5."""
+        sa = analyze_scenes(clean_trace.frame_bytes, threshold=0.15, window=8,
+                            min_scene_frames=16)
+        assert sa.duration_tail_shape < 2.2
+        assert sa.implied_hurst > 0.55
+
+    def test_iid_control_gives_no_heavy_tail(self, rng):
+        """Scenes detected in memoryless traffic have light-tailed
+        (geometric-ish) durations: implied H stays near 0.5."""
+        x = rng.gamma(20.0, 1000.0, size=40_000)
+        sa = analyze_scenes(x, threshold=0.15, window=8, min_scene_frames=16)
+        assert sa.implied_hurst < 0.65
+
+    def test_too_few_scenes_raises(self, rng):
+        x = 1000.0 + rng.normal(0, 5.0, size=5_000)
+        with pytest.raises(ValueError):
+            analyze_scenes(x)
+
+
+class TestRateControlledCodec:
+    @pytest.fixture(scope="class")
+    def movie(self):
+        return SyntheticMovie(60, height=48, width=64, seed=2, min_scene_frames=8)
+
+    def test_converges_to_target(self, movie):
+        rc = RateControlledCodec(target_bytes=1500.0, slices_per_frame=6, gain=0.8)
+        trace, _ = rc.encode_movie(movie)
+        post = trace.frame_bytes[10:]
+        assert np.mean(post) == pytest.approx(1500.0, rel=0.03)
+
+    def test_rate_variability_collapsed(self, movie):
+        """The paper's CBR-vs-VBR contrast at the coder: rate control
+        flattens the byte rate while the fixed-quantizer coder's rate
+        follows content."""
+        rc = RateControlledCodec(target_bytes=1500.0, slices_per_frame=6, gain=0.8)
+        trace, steps = rc.encode_movie(movie)
+        fixed = IntraframeCodec(quant_step=8.0, slices_per_frame=6).encode_movie(
+            SyntheticMovie(60, height=48, width=64, seed=2, min_scene_frames=8)
+        )
+        cov_rc = trace.frame_bytes[10:].std() / trace.frame_bytes[10:].mean()
+        cov_fixed = fixed.frame_bytes[10:].std() / fixed.frame_bytes[10:].mean()
+        assert cov_rc < cov_fixed
+
+    def test_quality_modulated_instead(self, movie):
+        """... but the quantizer step (quality) now varies."""
+        rc = RateControlledCodec(target_bytes=1500.0, slices_per_frame=6, gain=0.8)
+        _, steps = rc.encode_movie(movie)
+        assert steps[10:].std() > 0
+
+    def test_tighter_target_coarser_quantizer(self, movie):
+        frames = list(movie)
+        generous = RateControlledCodec(target_bytes=3000.0, slices_per_frame=6)
+        stingy = RateControlledCodec(target_bytes=600.0, slices_per_frame=6)
+        for frame in frames[:15]:
+            generous.encode_next(frame)
+            stingy.encode_next(frame)
+        assert stingy.quant_step > generous.quant_step
+
+    def test_step_clamped(self, movie):
+        rc = RateControlledCodec(
+            target_bytes=50.0, slices_per_frame=6, min_step=2.0, max_step=32.0
+        )
+        for frame in list(movie)[:10]:
+            rc.encode_next(frame)
+        assert 2.0 <= rc.quant_step <= 32.0
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            RateControlledCodec(target_bytes=0.0)
+        with pytest.raises(ValueError):
+            RateControlledCodec(target_bytes=100.0, min_step=10.0, max_step=5.0)
+
+    def test_empty_movie(self):
+        rc = RateControlledCodec(target_bytes=1000.0)
+        with pytest.raises(ValueError):
+            rc.encode_movie([])

@@ -1,0 +1,117 @@
+"""Tests for traffic shaping: clipping, leaky bucket, CBR smoothing."""
+
+import numpy as np
+import pytest
+
+from repro.simulation.queue import zero_loss_capacity
+from repro.video.shaping import cbr_smoothing_delay, clip_peaks, leaky_bucket
+from repro.video.trace import VBRTrace
+
+
+class TestClipPeaks:
+    def test_quantile_ceiling(self, small_trace):
+        result = clip_peaks(small_trace, quantile=0.99)
+        assert result.trace.frame_bytes.max() <= result.ceiling
+        assert result.clipped_frames == pytest.approx(0.01 * small_trace.n_frames, rel=0.3)
+
+    def test_absolute_ceiling(self, small_trace):
+        ceiling = float(np.mean(small_trace.frame_bytes) * 1.5)
+        result = clip_peaks(small_trace, ceiling=ceiling)
+        assert result.trace.frame_bytes.max() <= ceiling
+
+    def test_bytes_accounting(self, small_trace):
+        result = clip_peaks(small_trace, quantile=0.999)
+        removed = small_trace.frame_bytes.sum() - result.trace.frame_bytes.sum()
+        assert removed == pytest.approx(result.clipped_bytes, abs=result.clipped_frames + 1)
+
+    def test_quality_cost_tiny_for_extreme_quantiles(self, small_trace):
+        """The paper's point: clipping the few extreme peaks costs
+        almost nothing in information."""
+        result = clip_peaks(small_trace, quantile=0.999)
+        assert result.clipped_fraction < 0.01
+
+    def test_capacity_saving_substantial(self, small_trace):
+        """... but saves real capacity at small buffers."""
+        x = small_trace.frame_bytes
+        buffer_bytes = 50_000.0
+        before = zero_loss_capacity(x, buffer_bytes)
+        clipped = clip_peaks(small_trace, quantile=0.999).trace.frame_bytes
+        after = zero_loss_capacity(clipped, buffer_bytes)
+        assert after < before
+
+    def test_slices_rescaled_consistently(self, small_trace):
+        result = clip_peaks(small_trace, quantile=0.99)
+        t = result.trace
+        assert t.has_slice_data
+        sums = t.slice_bytes.reshape(-1, t.slices_per_frame).sum(axis=1)
+        np.testing.assert_allclose(sums, t.frame_bytes, atol=1e-9)
+
+    def test_original_untouched(self, small_trace):
+        before = small_trace.frame_bytes.copy()
+        clip_peaks(small_trace, quantile=0.99)
+        np.testing.assert_array_equal(small_trace.frame_bytes, before)
+
+    def test_requires_exactly_one_mode(self, small_trace):
+        with pytest.raises(ValueError):
+            clip_peaks(small_trace)
+        with pytest.raises(ValueError):
+            clip_peaks(small_trace, quantile=0.9, ceiling=1000.0)
+
+    def test_rejects_bad_quantile(self, small_trace):
+        with pytest.raises(ValueError):
+            clip_peaks(small_trace, quantile=1.0)
+
+    def test_rejects_non_trace(self):
+        with pytest.raises(TypeError):
+            clip_peaks([1.0, 2.0], quantile=0.9)
+
+
+class TestLeakyBucket:
+    def test_output_rate_bounded(self, rng):
+        a = rng.uniform(0, 20, size=500)
+        shaped, _ = leaky_bucket(a, rate_per_slot=8.0, bucket_bytes=50.0)
+        assert shaped.max() <= 8.0 + 1e-12
+
+    def test_conservation(self, rng):
+        a = rng.uniform(0, 20, size=500)
+        shaped, nonconforming = leaky_bucket(a, 8.0, 50.0)
+        # Everything is either shaped out, declared nonconforming, or
+        # still in the bucket (at most bucket_bytes).
+        assert shaped.sum() + nonconforming.sum() <= a.sum() + 1e-9
+        assert a.sum() - shaped.sum() - nonconforming.sum() <= 50.0 + 1e-9
+
+    def test_no_nonconforming_with_big_bucket(self, rng):
+        a = rng.uniform(0, 10, size=200)
+        _, nonconforming = leaky_bucket(a, 9.0, 1e9)
+        assert nonconforming.sum() == 0.0
+
+    def test_smooth_input_passes_through(self):
+        a = np.full(100, 5.0)
+        shaped, nonconforming = leaky_bucket(a, 5.0, 10.0)
+        np.testing.assert_allclose(shaped, 5.0)
+        assert nonconforming.sum() == 0.0
+
+
+class TestCBRSmoothing:
+    def test_zero_delay_at_peak_rate(self, small_series):
+        result = cbr_smoothing_delay(small_series, float(small_series.max()), 1 / 24.0)
+        assert result["max_delay_seconds"] == 0.0
+
+    def test_delay_grows_toward_mean_rate(self, small_series):
+        mean = float(np.mean(small_series))
+        fast = cbr_smoothing_delay(small_series, mean * 1.5, 1 / 24.0)
+        slow = cbr_smoothing_delay(small_series, mean * 1.02, 1 / 24.0)
+        assert slow["max_delay_seconds"] > fast["max_delay_seconds"]
+
+    def test_lrd_makes_cbr_delay_large(self, small_series):
+        """The paper's motivation: high-utilization CBR transport of
+        LRD video requires large smoothing delay (seconds, not
+        milliseconds)."""
+        mean = float(np.mean(small_series))
+        result = cbr_smoothing_delay(small_series, mean * 1.05, 1 / 24.0)
+        assert result["max_delay_seconds"] > 1.0
+        assert result["utilization"] == pytest.approx(1 / 1.05, rel=1e-6)
+
+    def test_rejects_unstable_rate(self, small_series):
+        with pytest.raises(ValueError):
+            cbr_smoothing_delay(small_series, float(np.mean(small_series)) * 0.9, 1 / 24.0)

@@ -1,0 +1,125 @@
+"""Tests for the spectral FGN generator and the stationarity check."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.hurst import variance_time
+from repro.analysis.stationarity import (
+    lrd_stationarity_check,
+    segment_mean_dispersion,
+)
+from repro.core.spectral import SpectralGenerator, fgn_spectral_density, spectral_fgn
+
+
+class TestSpectralDensity:
+    def test_divergence_at_origin_for_lrd(self):
+        """f(w) ~ w^(1-2H) as w -> 0: diverges for H > 1/2."""
+        f_small = fgn_spectral_density(np.array([0.001]), 0.8)[0]
+        f_large = fgn_spectral_density(np.array([0.1]), 0.8)[0]
+        ratio = f_small / f_large
+        expected = (0.001 / 0.1) ** (1 - 2 * 0.8)
+        assert ratio == pytest.approx(expected, rel=0.15)
+
+    def test_flat_for_white_noise(self):
+        omega = np.linspace(0.1, np.pi, 20)
+        f = fgn_spectral_density(omega, 0.5)
+        assert f.max() / f.min() < 1.2
+
+    def test_total_power_is_variance(self):
+        """Integral of the density over (-pi, pi] equals 1 (unit FGN)."""
+        omega = np.linspace(1e-4, np.pi, 200_000)
+        f = fgn_spectral_density(omega, 0.75)
+        total = 2.0 * np.trapezoid(f, omega)
+        assert total == pytest.approx(1.0, rel=0.02)
+
+    def test_rejects_bad_omega(self):
+        with pytest.raises(ValueError):
+            fgn_spectral_density(np.array([0.0]), 0.8)
+        with pytest.raises(ValueError):
+            fgn_spectral_density(np.array([4.0]), 0.8)
+
+
+class TestSpectralGenerator:
+    def test_unit_variance(self, rng):
+        x = SpectralGenerator(0.8).generate(2**14, rng=rng)
+        assert np.var(x) == pytest.approx(1.0, abs=0.1)
+
+    def test_hurst_recovered(self, rng):
+        x = SpectralGenerator(0.8).generate(2**14, rng=rng)
+        assert variance_time(x).hurst == pytest.approx(0.8, abs=0.07)
+
+    def test_antipersistent(self, rng):
+        x = SpectralGenerator(0.3).generate(2**13, rng=rng)
+        r1 = np.corrcoef(x[:-1], x[1:])[0, 1]
+        assert r1 < -0.05
+
+    def test_requires_even_length(self, rng):
+        with pytest.raises(ValueError):
+            SpectralGenerator(0.8).generate(999, rng=rng)
+
+    def test_density_cache(self, rng):
+        gen = SpectralGenerator(0.8)
+        gen.generate(256, rng=rng)
+        cached = gen._cached_f
+        gen.generate(256, rng=rng)
+        assert gen._cached_f is cached
+
+    def test_wrapper(self, rng):
+        assert spectral_fgn(128, hurst=0.7, rng=rng).shape == (128,)
+
+    def test_three_generators_agree(self, rng):
+        """Hosking, Davies-Harte and spectral synthesis recover the
+        same variance-time H."""
+        from repro.core.daviesharte import DaviesHarteGenerator
+        from repro.core.hosking import HoskingGenerator
+
+        n = 4096
+        estimates = [
+            variance_time(HoskingGenerator(hurst=0.8).generate(n, rng=rng)).hurst,
+            variance_time(DaviesHarteGenerator(0.8).generate(n, rng=rng)).hurst,
+            variance_time(SpectralGenerator(0.8).generate(n, rng=rng)).hurst,
+        ]
+        assert max(estimates) - min(estimates) < 0.15
+
+
+class TestStationarityCheck:
+    def test_segment_dispersion_basic(self, rng):
+        x = rng.standard_normal(10_000)
+        disp, n_seg = segment_mean_dispersion(x, 100)
+        assert n_seg == 100
+        assert disp == pytest.approx(0.1, rel=0.25)  # sigma/sqrt(100)
+
+    def test_rejects_too_few_segments(self, rng):
+        with pytest.raises(ValueError):
+            segment_mean_dispersion(rng.standard_normal(100), 80)
+
+    def test_iid_data_consistent_with_iid(self, rng):
+        x = rng.standard_normal(50_000)
+        report = lrd_stationarity_check(x, hurst=0.5, segment_length=1000)
+        assert report.iid_ratio == pytest.approx(1.0, abs=0.4)
+        assert not report.lrd_explains_dispersion  # no LRD needed
+
+    def test_lrd_data_explained_by_lrd(self, fgn_path):
+        """The paper's Section 3.2.2 claim on actual FGN: segment
+        means wander far beyond i.i.d. but exactly as stationary LRD
+        predicts."""
+        report = lrd_stationarity_check(fgn_path, hurst=0.8, segment_length=1024)
+        assert report.iid_ratio > 2.5
+        assert report.lrd_ratio == pytest.approx(1.0, abs=0.5)
+        assert report.lrd_explains_dispersion
+
+    def test_reference_trace_explained(self, small_trace):
+        from repro.analysis.hurst import variance_time
+
+        x = small_trace.frame_bytes
+        h = variance_time(x).hurst
+        report = lrd_stationarity_check(x, hurst=min(h, 0.95))
+        assert report.iid_ratio > 3.0
+        assert 0.3 < report.lrd_ratio < 3.0
+
+    def test_report_fields(self, rng):
+        x = rng.standard_normal(5_000)
+        report = lrd_stationarity_check(x, 0.7, segment_length=250)
+        assert report.segment_length == 250
+        assert report.n_segments == 20
+        assert report.lrd_prediction > report.iid_prediction

@@ -1,0 +1,116 @@
+"""Tests for the calibrated Star-Wars-like trace synthesizer."""
+
+import numpy as np
+import pytest
+
+from repro.video.starwars import STARWARS_PARAMETERS, synthesize_starwars_trace
+
+
+@pytest.fixture(scope="module")
+def trace():
+    return synthesize_starwars_trace(n_frames=30_000, seed=5)
+
+
+class TestCalibration:
+    def test_frame_moments_match_paper(self, trace):
+        x = trace.frame_bytes
+        assert np.mean(x) == pytest.approx(27_791.0, rel=0.005)
+        assert np.std(x) == pytest.approx(6_254.0, rel=0.02)
+
+    def test_mean_rate_table1(self, trace):
+        assert trace.mean_rate_bps / 1e6 == pytest.approx(5.34, rel=0.01)
+
+    def test_peak_to_mean_band(self, trace):
+        """Paper: 2.82 at frame level; the synthesis lands nearby."""
+        s = trace.summary("frame")
+        assert 2.2 < s.peak_to_mean < 3.8
+
+    def test_slice_cov_matches_paper(self, trace):
+        s = trace.summary("slice")
+        assert s.coefficient_of_variation == pytest.approx(0.31, abs=0.03)
+
+    def test_slice_mean(self, trace):
+        s = trace.summary("slice")
+        assert s.mean == pytest.approx(926.4, rel=0.01)
+
+    def test_all_bytes_positive_integers(self, trace):
+        assert np.all(trace.frame_bytes > 0)
+        np.testing.assert_array_equal(trace.frame_bytes, np.round(trace.frame_bytes))
+        np.testing.assert_array_equal(trace.slice_bytes, np.round(trace.slice_bytes))
+
+    def test_slices_sum_to_frames_exactly(self, trace):
+        sums = trace.slice_bytes.reshape(-1, 30).sum(axis=1)
+        np.testing.assert_array_equal(sums, trace.frame_bytes)
+
+    def test_custom_targets(self):
+        t = synthesize_starwars_trace(n_frames=5_000, seed=1, mean=1000.0, std=200.0)
+        assert np.mean(t.frame_bytes) == pytest.approx(1000.0, rel=0.01)
+        assert np.std(t.frame_bytes) == pytest.approx(200.0, rel=0.05)
+
+
+class TestStructure:
+    def test_heavy_tail_recoverable(self, trace):
+        """The fitted tail slope matches the synthesis target."""
+        from repro.distributions.fitting import fit_pareto_tail_slope
+
+        a = fit_pareto_tail_slope(trace.frame_bytes, tail_fraction=0.02)
+        assert a == pytest.approx(STARWARS_PARAMETERS["tail_shape"], rel=0.35)
+
+    def test_hurst_in_paper_band(self, trace):
+        from repro.analysis.hurst import rs_pox, variance_time
+
+        h_vt = variance_time(trace.frame_bytes).hurst
+        h_rs = rs_pox(trace.frame_bytes).hurst
+        assert 0.7 < h_vt < 0.95
+        assert 0.7 < h_rs < 0.95
+
+    def test_opening_crawl_is_high_bandwidth(self, trace):
+        """The first 42 seconds (opening text) run hot, as in Fig. 1."""
+        x = trace.frame_bytes
+        crawl = np.mean(x[: int(42 * 24)])
+        rest = np.mean(x[int(42 * 24) :])
+        assert crawl > 1.1 * rest
+
+    def test_central_spikes_present(self, trace):
+        """The extreme peaks sit near the middle of the movie."""
+        x = trace.frame_bytes
+        top_frames = np.argsort(x)[-10:]
+        relative = top_frames / x.size
+        assert np.any((relative > 0.4) & (relative < 0.6))
+
+    def test_short_range_correlation(self, trace):
+        """Lag-1 autocorrelation is strong (scene persistence)."""
+        x = trace.frame_bytes
+        r1 = np.corrcoef(x[:-1], x[1:])[0, 1]
+        assert r1 > 0.6
+
+    def test_deterministic(self):
+        a = synthesize_starwars_trace(n_frames=2_000, seed=9).frame_bytes
+        b = synthesize_starwars_trace(n_frames=2_000, seed=9).frame_bytes
+        np.testing.assert_array_equal(a, b)
+
+    def test_seeds_differ(self):
+        a = synthesize_starwars_trace(n_frames=2_000, seed=1).frame_bytes
+        b = synthesize_starwars_trace(n_frames=2_000, seed=2).frame_bytes
+        assert not np.array_equal(a, b)
+
+    def test_without_slices(self):
+        t = synthesize_starwars_trace(n_frames=1_000, seed=3, with_slices=False)
+        assert not t.has_slice_data
+
+    def test_landmark_scale_zero_removes_spikes(self):
+        """Disabling landmarks flattens the center of the movie."""
+        with_marks = synthesize_starwars_trace(n_frames=20_000, seed=4, with_slices=False)
+        without = synthesize_starwars_trace(
+            n_frames=20_000, seed=4, with_slices=False, landmark_scale=0.0
+        )
+        mid = slice(int(0.45 * 20_000), int(0.55 * 20_000))
+        assert np.max(with_marks.frame_bytes[mid]) >= np.max(without.frame_bytes[mid])
+
+    def test_rejects_bad_hurst(self):
+        with pytest.raises(ValueError):
+            synthesize_starwars_trace(n_frames=100, hurst=0.5)
+
+    def test_parameters_dict_complete(self):
+        for key in ("n_frames", "mean_frame_bytes", "std_frame_bytes", "hurst", "tail_shape"):
+            assert key in STARWARS_PARAMETERS

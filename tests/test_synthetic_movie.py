@@ -1,0 +1,63 @@
+"""Tests for the procedural movie generator."""
+
+import numpy as np
+import pytest
+
+from repro.video.synthetic import SyntheticMovie
+
+
+class TestSyntheticMovie:
+    def test_yields_correct_count_and_shape(self):
+        movie = SyntheticMovie(5, height=32, width=40, seed=1)
+        frames = list(movie)
+        assert len(frames) == 5
+        assert all(f.shape == (32, 40) for f in frames)
+
+    def test_frames_are_uint8(self):
+        movie = SyntheticMovie(2, height=16, width=16, seed=2)
+        for f in movie:
+            assert f.dtype == np.uint8
+            assert f.min() >= 0
+            assert f.max() <= 255
+
+    def test_deterministic_per_seed(self):
+        a = SyntheticMovie(4, height=16, width=16, seed=3).render()
+        b = SyntheticMovie(4, height=16, width=16, seed=3).render()
+        np.testing.assert_array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        a = SyntheticMovie(2, height=16, width=16, seed=1).render()
+        b = SyntheticMovie(2, height=16, width=16, seed=2).render()
+        assert not np.array_equal(a, b)
+
+    def test_repeat_iteration_reproduces(self):
+        movie = SyntheticMovie(3, height=16, width=16, seed=5)
+        first = np.stack(list(movie))
+        second = np.stack(list(movie))
+        np.testing.assert_array_equal(first, second)
+
+    def test_consecutive_frames_correlated(self):
+        """Within a scene, motion shifts the same texture: consecutive
+        frames are far more alike than frames from different scenes."""
+        movie = SyntheticMovie(40, height=32, width=32, seed=8, min_scene_frames=20)
+        frames = movie.render().astype(float)
+        within = np.mean(np.abs(frames[1] - frames[0]))
+        across = np.mean(np.abs(frames[-1] - frames[0]))
+        assert within < across
+
+    def test_script_accessible(self):
+        movie = SyntheticMovie(100, seed=4)
+        assert movie.script.n_frames == 100
+
+    def test_len(self):
+        assert len(SyntheticMovie(7, seed=0)) == 7
+
+    def test_rejects_bad_dimensions(self):
+        with pytest.raises(ValueError):
+            SyntheticMovie(5, height=0)
+        with pytest.raises(ValueError):
+            SyntheticMovie(0)
+
+    def test_effect_probability_bounds(self):
+        with pytest.raises(ValueError):
+            SyntheticMovie(5, effect_probability=1.5)

@@ -1,0 +1,100 @@
+"""Tests for the tabulated distribution and its convolution."""
+
+import numpy as np
+import pytest
+
+from repro.distributions import Normal, TabulatedDistribution
+
+
+class TestConstruction:
+    def test_from_distribution(self):
+        t = TabulatedDistribution.from_distribution(Normal(0, 1), n_points=2001)
+        assert t.cdf(0.0) == pytest.approx(0.5, abs=1e-3)
+
+    def test_rejects_mismatched_lengths(self):
+        with pytest.raises(ValueError):
+            TabulatedDistribution([0, 1, 2], [0.0, 1.0])
+
+    def test_rejects_non_increasing_x(self):
+        with pytest.raises(ValueError):
+            TabulatedDistribution([0, 0, 1], [0.0, 0.5, 1.0])
+
+    def test_rejects_decreasing_cdf(self):
+        with pytest.raises(ValueError):
+            TabulatedDistribution([0, 1, 2], [0.0, 0.7, 0.5])
+
+    def test_rejects_cdf_outside_unit(self):
+        with pytest.raises(ValueError):
+            TabulatedDistribution([0, 1], [0.0, 1.5])
+
+    def test_support(self):
+        t = TabulatedDistribution([1.0, 2.0, 4.0], [0.0, 0.5, 1.0])
+        assert t.support == (1.0, 4.0)
+
+
+class TestEvaluation:
+    def test_cdf_interpolates_linearly(self):
+        t = TabulatedDistribution([0.0, 1.0], [0.0, 1.0])
+        assert t.cdf(0.25) == pytest.approx(0.25)
+
+    def test_cdf_clamps_outside_support(self):
+        t = TabulatedDistribution([0.0, 1.0], [0.0, 1.0])
+        assert t.cdf(-1.0) == 0.0
+        assert t.cdf(2.0) == 1.0
+
+    def test_pdf_zero_outside_support(self):
+        t = TabulatedDistribution([0.0, 1.0], [0.0, 1.0])
+        assert t.pdf(-0.5) == 0.0
+        assert t.pdf(1.5) == 0.0
+
+    def test_ppf_handles_flat_cdf_regions(self):
+        """Flat CDF stretches (zero density) must not break inversion."""
+        t = TabulatedDistribution([0.0, 1.0, 2.0, 3.0], [0.0, 0.5, 0.5, 1.0])
+        # Any x in [1, 2] is a valid inverse at the flat level itself.
+        assert 0.0 <= t.ppf(0.5) <= 2.0
+        assert t.ppf(0.75) == pytest.approx(2.5)
+        assert t.ppf(0.25) == pytest.approx(0.5)
+
+    def test_ppf_rejects_out_of_range(self):
+        t = TabulatedDistribution([0.0, 1.0], [0.0, 1.0])
+        with pytest.raises(ValueError):
+            t.ppf(-0.1)
+
+    def test_uniform_moments(self):
+        t = TabulatedDistribution([0.0, 1.0], [0.0, 1.0])
+        assert t.mean() == pytest.approx(0.5)
+        assert t.var() == pytest.approx(1.0 / 12.0, rel=1e-6)
+
+    def test_tabulated_normal_moments(self):
+        t = TabulatedDistribution.from_distribution(Normal(5.0, 2.0), n_points=20_001)
+        assert t.mean() == pytest.approx(5.0, abs=0.01)
+        assert t.var() == pytest.approx(4.0, rel=0.02)
+
+    def test_sampling(self, rng):
+        t = TabulatedDistribution.from_distribution(Normal(0.0, 1.0), n_points=5001)
+        x = t.sample(50_000, rng=rng)
+        assert np.mean(x) == pytest.approx(0.0, abs=0.02)
+
+
+class TestConvolution:
+    def test_normal_plus_normal_is_normal(self):
+        """N(0,1) * N(0,1) = N(0,2): a sharp correctness check."""
+        t = TabulatedDistribution.from_distribution(Normal(0.0, 1.0), n_points=4001)
+        s = t.convolve(t, n_points=4001)
+        assert s.mean() == pytest.approx(0.0, abs=0.01)
+        assert s.var() == pytest.approx(2.0, rel=0.02)
+        target = Normal(0.0, np.sqrt(2.0))
+        for q in (0.1, 0.25, 0.5, 0.75, 0.9):
+            assert s.ppf(q) == pytest.approx(target.ppf(q), abs=0.02)
+
+    def test_convolution_of_shifted_normals(self):
+        a = TabulatedDistribution.from_distribution(Normal(3.0, 1.0), n_points=4001)
+        b = TabulatedDistribution.from_distribution(Normal(-1.0, 2.0), n_points=4001)
+        s = a.convolve(b, n_points=4001)
+        assert s.mean() == pytest.approx(2.0, abs=0.02)
+        assert s.var() == pytest.approx(5.0, rel=0.03)
+
+    def test_convolve_accepts_parametric_other(self):
+        a = TabulatedDistribution.from_distribution(Normal(0.0, 1.0), n_points=2001)
+        s = a.convolve(Normal(0.0, 1.0), n_points=2001)
+        assert s.var() == pytest.approx(2.0, rel=0.05)

@@ -1,0 +1,103 @@
+"""Tests for the marginal transform (eq. 13) and normal scores."""
+
+import numpy as np
+import pytest
+
+from repro.core.transform import marginal_transform, normal_scores
+from repro.distributions import GammaParetoHybrid, Normal
+
+
+@pytest.fixture(scope="module")
+def target():
+    return GammaParetoHybrid(1000.0, 200.0, 8.0)
+
+
+class TestMarginalTransform:
+    def test_output_has_target_marginal(self, target, rng):
+        x = rng.standard_normal(100_000)
+        y = marginal_transform(x, target, source=Normal(0, 1))
+        assert np.mean(y) == pytest.approx(target.mean(), rel=0.01)
+        # Quantiles agree with the target distribution.
+        for q in (0.1, 0.5, 0.9, 0.99):
+            assert np.quantile(y, q) == pytest.approx(target.ppf(q), rel=0.02)
+
+    def test_monotone_preserves_ordering(self, target, rng):
+        """Eq. 13 is monotone: ranks are preserved exactly."""
+        x = rng.standard_normal(500)
+        y = marginal_transform(x, target, source=Normal(0, 1))
+        np.testing.assert_array_equal(np.argsort(x), np.argsort(y))
+
+    def test_source_inferred_from_sample(self, target, rng):
+        x = rng.normal(5.0, 2.0, size=50_000)
+        y = marginal_transform(x, target)  # source fitted internally
+        assert np.median(y) == pytest.approx(target.ppf(0.5), rel=0.02)
+
+    def test_preserves_hurst(self, target):
+        """The paper: 'The measured value of H is not affected by the
+        distortion of the marginal distribution.'"""
+        from repro.analysis.hurst import variance_time
+        from repro.core.daviesharte import DaviesHarteGenerator
+
+        x = DaviesHarteGenerator(0.8).generate(2**14, rng=np.random.default_rng(2))
+        y = marginal_transform(x, target, source=Normal(0, 1))
+        h_before = variance_time(x).hurst
+        h_after = variance_time(y).hurst
+        assert h_after == pytest.approx(h_before, abs=0.05)
+
+    def test_table_method_close_to_exact(self, target, rng):
+        x = rng.standard_normal(5_000)
+        y_exact = marginal_transform(x, target, source=Normal(0, 1), method="exact")
+        y_table = marginal_transform(x, target, source=Normal(0, 1), method="table")
+        # Bulk agrees tightly; the extreme tail is table-truncated.
+        bulk = np.abs(x) < 3
+        np.testing.assert_allclose(y_table[bulk], y_exact[bulk], rtol=0.02)
+
+    def test_table_truncates_extreme_tail(self, target):
+        """The paper's observation: the mapping table 'does not hold
+        the Pareto tail' -- extreme quantiles are clipped."""
+        x = np.array([0.0, 8.0])  # 8-sigma event
+        y_exact = marginal_transform(x, target, source=Normal(0, 1), method="exact")
+        y_table = marginal_transform(x, target, source=Normal(0, 1), method="table")
+        assert y_table[1] < y_exact[1]
+
+    def test_rejects_unknown_method(self, target, rng):
+        with pytest.raises(ValueError):
+            marginal_transform(rng.standard_normal(10), target, method="nope")
+
+    def test_rejects_constant_input(self, target):
+        with pytest.raises(ValueError):
+            marginal_transform(np.ones(100), target)
+
+    def test_rejects_non_normal_source(self, target, rng):
+        with pytest.raises(TypeError):
+            marginal_transform(rng.standard_normal(10), target, source=target)
+
+    def test_no_infinities_for_extreme_inputs(self, target):
+        x = np.array([-40.0, 0.0, 40.0])
+        y = marginal_transform(x, target, source=Normal(0, 1))
+        assert np.all(np.isfinite(y))
+
+
+class TestNormalScores:
+    def test_output_is_standard_normal_like(self, rng):
+        x = rng.exponential(1.0, size=10_000)
+        z = normal_scores(x)
+        assert np.mean(z) == pytest.approx(0.0, abs=0.02)
+        assert np.std(z) == pytest.approx(1.0, abs=0.02)
+
+    def test_preserves_ordering(self, rng):
+        x = rng.uniform(size=100)
+        z = normal_scores(x)
+        np.testing.assert_array_equal(np.argsort(x), np.argsort(z))
+
+    def test_symmetric_ranks(self):
+        z = normal_scores([1.0, 2.0, 3.0])
+        assert z[1] == pytest.approx(0.0, abs=1e-12)
+        assert z[0] == pytest.approx(-z[2])
+
+    def test_inverse_of_marginal_transform(self, target, rng):
+        """normal_scores o (eq. 13) recovers the Gaussian ranks."""
+        x = rng.standard_normal(2_000)
+        y = marginal_transform(x, target, source=Normal(0, 1))
+        z = normal_scores(y)
+        assert np.corrcoef(z, x)[0, 1] > 0.999
