@@ -161,23 +161,27 @@ def test_ext_idc_hurst(benchmark, full_trace):
 
 
 def test_ext_model_zoo(benchmark, sim_trace):
-    """Seven traffic models through the Fig. 16 harness at once.
+    """Eight traffic models through the Fig. 16 harness at once.
 
-    Robust ranking across seeds: the two both-features models
-    (composite, full) sit in the top three, the classical Gaussian
-    SRD models (AR(1), Gaussian-fARIMA at these lengths) trail.
-    An honest nuance: DAR(1) with the *exact* heavy-tailed marginal is
-    competitive on zero-loss buffers at this trace length -- its long
-    geometric holds of Pareto-tail levels mimic persistence at the
-    scales that drive the drawdowns.
+    Robust ranking across seeds: the both-features models (composite,
+    full, and the Paxson-driven full model) sit at the top, the
+    classical Gaussian SRD models (AR(1), Gaussian-fARIMA at these
+    lengths) trail.  An honest nuance: DAR(1) with the *exact*
+    heavy-tailed marginal is competitive on zero-loss buffers at this
+    trace length -- its long geometric holds of Pareto-tail levels
+    mimic persistence at the scales that drive the drawdowns.
     """
     from repro.experiments import ext_model_zoo
 
     result = run_once(benchmark, ext_model_zoo.run, sim_trace, n_frames=30_000)
     offsets = result["offsets"]
     ranking = result["ranking"]
-    assert ranking.index("composite") < 3
-    assert ranking.index("full-model") < 4
+    assert ranking.index("composite") < 4
+    assert ranking.index("full-model") < 5
     assert offsets["composite"] < offsets["ar1"]
     assert offsets["composite"] < offsets["gaussian-farima"]
     assert offsets["full-model"] < offsets["ar1"]
+    # The approximate generator must land in the same quality band as
+    # the exact one: both carry identical marginals and Hurst, so their
+    # Q-C offsets from the trace should be comparable.
+    assert offsets["full-model-paxson"] < offsets["ar1"]

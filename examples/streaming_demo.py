@@ -1,0 +1,96 @@
+#!/usr/bin/env python3
+"""Constant-memory traffic generation with repro.stream.
+
+The paper generated its 171,000-frame synthetic trace in 10 CPU-hours
+because exact fARIMA synthesis is O(n^2) and holds the whole path.
+This demo builds the same Gamma/Pareto self-similar traffic as a
+*stream*: fixed-size chunks flow generate -> transform -> statistics ->
+queue, so the memory bound is one chunk no matter how long the run.
+
+It shows the three pieces working together:
+
+1. an approximate FFT fGn source (Paxson blocks, cross-faded seams),
+2. the chunkwise marginal transform to the paper's Table 2 hybrid,
+3. one-pass validation (moments + variance-time Hurst) and a
+   bit-exact streaming FIFO queue, all folded while the chunks fly by.
+
+Run:  python examples/streaming_demo.py [--samples 2000000]
+"""
+
+import argparse
+import time
+import tracemalloc
+
+import numpy as np
+
+from repro.distributions.hybrid import GammaParetoHybrid
+from repro.stream import (
+    BlockFGNSource,
+    OnlineMoments,
+    Stream,
+    StreamingQueue,
+    StreamingVarianceTime,
+)
+
+
+def parse_args():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--samples", type=int, default=2_000_000,
+                        help="frames to stream (default 2M; try 10M+)")
+    parser.add_argument("--chunk", type=int, default=65_536,
+                        help="chunk size = the memory bound")
+    parser.add_argument("--hurst", type=float, default=0.8)
+    return parser.parse_args()
+
+
+def main():
+    args = parse_args()
+    marginal = GammaParetoHybrid(27_791.0, 6_254.0, 12.0)  # Table 2, frame level
+    mean_rate = marginal.mean()
+
+    source = BlockFGNSource(args.hurst, block_size=args.chunk, overlap=1024)
+    moments = OnlineMoments()
+    vt = StreamingVarianceTime()
+    # A deliberately tight link: 10% headroom, 20 mean-frames of buffer.
+    queue = StreamingQueue(1.1 * mean_rate, 20.0 * mean_rate)
+
+    stream = (
+        Stream.from_source(source, args.samples, args.chunk, rng=np.random.default_rng(0))
+        .transform(marginal, method="table")
+    )
+
+    print(f"Streaming {args.samples:,} frames in {args.chunk:,}-sample chunks "
+          f"(H = {args.hurst}) ...")
+    tracemalloc.start()
+    baseline, _ = tracemalloc.get_traced_memory()
+    start = time.perf_counter()
+    stream.drain(moments, vt, queue)
+    elapsed = time.perf_counter() - start
+    _, peak = tracemalloc.get_traced_memory()
+    tracemalloc.stop()
+
+    full_mb = 8.0 * args.samples / 1e6
+    print(f"  done in {elapsed:.2f}s ({args.samples / elapsed:,.0f} frames/s)")
+    print(f"  traced allocation peak: {(peak - baseline) / 1e6:.1f} MB "
+          f"(materialized series would be {full_mb:.0f} MB)")
+
+    print("\nOne-pass marginal statistics:")
+    print(f"  mean {moments.mean:,.0f} B/frame (model: {mean_rate:,.0f})")
+    print(f"  std  {moments.std:,.0f} B/frame")
+    print(f"  min/max {moments.minimum:,.0f} / {moments.maximum:,.0f}")
+
+    result = vt.hurst()
+    print(f"\nStreaming variance-time Hurst estimate: {result.hurst:.3f} "
+          f"(nominal {args.hurst})")
+
+    q = queue.result()
+    print(f"\nStreaming FIFO queue at 10% capacity headroom, "
+          f"{20.0:.0f} mean-frames of buffer:")
+    print(f"  offered {q.total_bytes / 1e9:.2f} GB, loss rate {q.loss_rate:.2e}, "
+          f"peak backlog {q.peak_backlog / mean_rate:.1f} mean-frames")
+    print("\n(Every number above came from a single pass; the queue result is")
+    print(" bit-for-bit what simulate_queue would report on the full series.)")
+
+
+if __name__ == "__main__":
+    main()

@@ -22,6 +22,11 @@ scratch, every system described in the paper:
 - ``repro.simulation`` -- a finite-buffer FIFO queueing simulator with
   N-source statistical multiplexing, loss metrics and Q-C resource
   trade-off machinery.
+- ``repro.stream`` -- a constant-memory streaming counterpart of the
+  whole pipeline: chunked noise sources (resumable Hosking, block-FFT
+  fGn), chunkwise marginal transform, lagged multiplexing, an online
+  FIFO queue that matches the batch simulator bit-for-bit, and
+  one-pass moment/Hurst estimators.
 - ``repro.experiments`` -- one module per table and figure of the
   paper's evaluation.
 """

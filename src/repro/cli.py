@@ -7,6 +7,7 @@ Usage (also via ``python -m repro``):
     repro analyze --synthetic --frames 40000
     repro report trace.dat
     repro simulate trace.dat --sources 5 --capacity-mbps 7.0 --buffer-ms 10
+    repro stream --samples 10000000 --backend paxson --out frames.npy --stats
     repro experiments --quick
 
 Every command prints plain text tables; the underlying data comes from
@@ -55,6 +56,33 @@ def build_parser():
                        help="aggregate channel capacity in Mb/s")
     p_sim.add_argument("--buffer-ms", type=float, default=10.0,
                        help="buffer size as delay at full capacity")
+
+    p_str = sub.add_parser(
+        "stream",
+        help="stream model traffic in constant memory (chunked generate+transform)",
+    )
+    p_str.add_argument("--samples", type=int, default=1_000_000,
+                       help="total samples to emit")
+    p_str.add_argument("--chunk", type=int, default=65_536,
+                       help="samples per chunk (the memory bound)")
+    p_str.add_argument("--backend", choices=("hosking", "davies-harte", "paxson"),
+                       default="paxson")
+    p_str.add_argument("--hurst", type=float, default=0.8)
+    p_str.add_argument("--block-size", type=int, default=65_536,
+                       help="synthesis block for the approximate backends")
+    p_str.add_argument("--overlap", type=int, default=1_024,
+                       help="cross-fade overlap between synthesis blocks")
+    p_str.add_argument("--sources", type=int, default=1,
+                       help="independent sources generated on a worker pool and summed")
+    p_str.add_argument("--seed", type=int, default=0)
+    p_str.add_argument("--gaussian", action="store_true",
+                       help="emit the raw Gaussian noise (skip the marginal transform)")
+    p_str.add_argument("--table", action="store_true",
+                       help="use the paper's 10,000-point transform table (faster)")
+    p_str.add_argument("--out", default="-",
+                       help='output .npy file, or "-" for one sample per stdout line')
+    p_str.add_argument("--stats", action="store_true",
+                       help="fold online moments + streaming Hurst, report on stderr")
 
     p_exp = sub.add_parser("experiments", help="run the full reproduction suite")
     p_exp.add_argument("--quick", action="store_true")
@@ -157,6 +185,110 @@ def _cmd_simulate(args):
     return 0
 
 
+def _write_npy_header(fh, n):
+    """Write a v1.0 .npy header for a 1-D float64 array of length ``n``.
+
+    The total length is known up front, so the file can be filled one
+    chunk at a time without ever holding the array.
+    """
+    np.lib.format.write_array_header_1_0(
+        fh, {"descr": "<f8", "fortran_order": False, "shape": (int(n),)}
+    )
+
+
+def _cmd_stream(args):
+    import time
+
+    from repro.distributions.hybrid import GammaParetoHybrid
+    from repro.stream import (
+        OnlineMoments,
+        ParallelSources,
+        Stream,
+        StreamingVarianceTime,
+        make_source,
+    )
+
+    if args.samples < 1:
+        raise SystemExit("--samples must be >= 1")
+    if args.chunk < 1:
+        raise SystemExit("--chunk must be >= 1")
+    rng = np.random.default_rng(args.seed)
+
+    def build_source():
+        return make_source(
+            args.backend, hurst=args.hurst,
+            block_size=args.block_size, overlap=args.overlap,
+        )
+
+    if args.sources > 1:
+        pool = ParallelSources([build_source() for _ in range(args.sources)])
+        stream = pool.stream(args.samples, args.chunk, rng=rng)
+    else:
+        stream = Stream.from_source(build_source(), args.samples, args.chunk, rng=rng)
+    if not args.gaussian:
+        # The paper's Table 2 frame-level marginal; aggregated sources
+        # get the transform per source-equivalent via the N(0, sqrt(N))
+        # law of the summed Gaussians.
+        marginal = GammaParetoHybrid(27_791.0, 6_254.0, 12.0)
+        from repro.distributions.normal import Normal
+
+        source_law = Normal(0.0, np.sqrt(float(max(args.sources, 1))))
+        stream = stream.transform(
+            marginal, source=source_law,
+            method="table" if args.table else "exact",
+        )
+    folders = []
+    if args.stats:
+        moments = OnlineMoments()
+        vt = StreamingVarianceTime()
+        folders = [moments, vt]
+        stream = stream.observe(*folders)
+
+    start = time.perf_counter()
+    emitted = 0
+    if args.out == "-":
+        try:
+            for chunk in stream:
+                emitted += chunk.size
+                sys.stdout.write("\n".join(f"{x:.6f}" for x in chunk) + "\n")
+        except BrokenPipeError:
+            # Downstream closed the pipe (e.g. `| head`): stop quietly,
+            # pointing stdout at devnull so the interpreter's exit-time
+            # flush does not raise again.
+            import os
+
+            os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+            return 0
+    else:
+        with open(args.out, "wb") as fh:
+            _write_npy_header(fh, args.samples)
+            for chunk in stream:
+                emitted += chunk.size
+                fh.write(np.ascontiguousarray(chunk, dtype="<f8").tobytes())
+    elapsed = time.perf_counter() - start
+
+    def report(line):
+        print(line, file=sys.stderr if args.out == "-" else sys.stdout)
+
+    rate = emitted / elapsed if elapsed > 0 else float("inf")
+    report(
+        f"streamed {emitted} samples ({args.backend}, chunk {args.chunk}) "
+        f"in {elapsed:.2f}s ({rate:,.0f} samples/s)"
+    )
+    if args.out != "-":
+        report(f"wrote {args.out}")
+    if args.stats:
+        report(
+            f"  mean {moments.mean:.1f}  std {moments.std:.1f}  "
+            f"min {moments.minimum:.1f}  max {moments.maximum:.1f}"
+        )
+        try:
+            report(f"  variance-time Hurst estimate: {vt.hurst().hurst:.3f}")
+        except ValueError as exc:
+            report(f"  variance-time Hurst estimate unavailable: {exc}")
+    return 0
+
+
 def _cmd_experiments(args):
     from repro.experiments.runner import run_all, summary_lines
 
@@ -194,6 +326,7 @@ _COMMANDS = {
     "report": _cmd_report,
     "analyze": _cmd_analyze,
     "simulate": _cmd_simulate,
+    "stream": _cmd_stream,
     "experiments": _cmd_experiments,
     "generate": _cmd_generate,
 }

@@ -17,7 +17,17 @@ Because every point conditions on every previous point the cost is
 O(n^2) -- the paper reports ~10 hours for 171,000 points on a 1994
 workstation; the vectorized recursion here generates the same length in
 minutes.  For long realizations the O(n log n) Davies-Harte generator
-(:mod:`repro.core.daviesharte`) is the practical alternative.
+(:mod:`repro.core.daviesharte`) or Paxson's approximate synthesizer
+(:mod:`repro.core.paxson`) are the practical alternatives.
+
+The generator is *resumable*: :meth:`HoskingGenerator.extend` continues
+the Durbin-Levinson recursion from the retained conditional state, so a
+realization can be produced in arbitrary chunks.  Under a fixed seed,
+``extend(a)`` followed by ``extend(b)`` is byte-identical to a single
+``generate(a + b)`` -- the property :mod:`repro.stream.sources` relies
+on to stream exact fARIMA noise.  Note the state (prediction
+coefficients plus the full history) grows as O(total samples); constant
+memory requires the approximate block sources in :mod:`repro.stream`.
 """
 
 from __future__ import annotations
@@ -42,10 +52,11 @@ class HoskingGenerator:
     variance:
         Marginal variance ``v_0`` of the process (mean is zero).
 
-    The generator is *streaming*: :meth:`next` extends the current
-    realization one point at a time while :meth:`generate` produces a
-    full path.  The conditional state (partial autocorrelations and the
-    sample history) is retained so paths can be extended incrementally.
+    The generator is *streaming*: :meth:`extend` continues the current
+    realization by any number of points (and :meth:`next` by exactly
+    one), while :meth:`generate` resets and produces a full path.  The
+    conditional state (partial autocorrelations and the sample history)
+    is retained so paths can be extended incrementally.
     """
 
     def __init__(self, hurst=None, d=None, variance=1.0):
@@ -63,7 +74,8 @@ class HoskingGenerator:
 
     def reset(self):
         """Discard the current realization and conditional state."""
-        self._x = []
+        self._n = 0
+        self._hist = np.zeros(0)
         self._phi = np.zeros(0)
         self._rho = np.ones(1)
         self._v = self.variance
@@ -71,80 +83,64 @@ class HoskingGenerator:
         self._d_prev = 1.0
 
     @property
+    def n_generated(self):
+        """Number of points generated so far."""
+        return self._n
+
+    @property
     def generated(self):
         """The realization generated so far, as a numpy array."""
-        return np.asarray(self._x, dtype=float)
+        return self._hist[: self._n].copy()
 
     def _extend_acf(self, upto):
         if upto < self._rho.size:
             return
         self._rho = farima_acf(self.d, upto)
 
-    def next(self, rng):
-        """Draw the next point of the realization.
+    def _grow(self, total):
+        """Ensure the history/coefficient buffers hold ``total`` points."""
+        if self._hist.size >= total:
+            return
+        cap = max(2 * self._hist.size, total, 16)
+        hist = np.zeros(cap)
+        hist[: self._n] = self._hist[: self._n]
+        phi = np.zeros(cap)
+        if self._n > 1:
+            phi[: self._n - 1] = self._phi[: self._n - 1]
+        self._hist = hist
+        self._phi = phi
 
-        Parameters
-        ----------
-        rng:
-            A :class:`numpy.random.Generator`.
-        """
-        k = len(self._x)
-        if k == 0:
-            x = rng.normal(0.0, np.sqrt(self._v))
-            self._x.append(float(x))
-            return float(x)
-        self._extend_acf(max(k, 2 * len(self._x)))
-        rho = self._rho
-        phi = self._phi
-        # Eq. (7): N_k = rho_k - sum_j phi_{k-1,j} rho_{k-j}.
-        if k == 1:
-            n_k = rho[1]
-        else:
-            n_k = rho[k] - phi[: k - 1] @ rho[k - 1 : 0 : -1]
-        # Eq. (8): D_k = D_{k-1} - N_{k-1}^2 / D_{k-1}.
-        d_k = self._d_prev - self._n_prev**2 / self._d_prev
-        phi_kk = n_k / d_k
-        if not -1.0 < phi_kk < 1.0:
-            raise RuntimeError(
-                f"partial autocorrelation left (-1, 1) at step {k}; numerical breakdown"
-            )
-        # Eq. (10): update the prediction coefficients in place.
-        new_phi = np.empty(k)
-        if k > 1:
-            new_phi[: k - 1] = phi[: k - 1] - phi_kk * phi[k - 2 :: -1]
-        new_phi[k - 1] = phi_kk
-        # Eqs. (11)-(12): conditional mean and variance.
-        hist = np.asarray(self._x[::-1], dtype=float)
-        m_k = new_phi @ hist
-        self._v *= 1.0 - phi_kk**2
-        x = rng.normal(m_k, np.sqrt(self._v))
-        self._phi = new_phi
-        self._n_prev = n_k
-        self._d_prev = d_k
-        self._x.append(float(x))
-        return float(x)
+    def extend(self, n, rng=None):
+        """Continue the realization by ``n`` points; returns the new chunk.
 
-    def generate(self, n, rng=None):
-        """Generate a fresh realization of length ``n``.
-
-        Resets any previous state first; use :meth:`next` for
-        incremental extension.  Cost is O(n^2) time and O(n) memory.
+        The Durbin-Levinson recursion resumes from the retained state,
+        so ``extend(a); extend(b)`` draws the same path as one
+        ``extend(a + b)`` under the same ``rng`` (numpy's Gaussian
+        stream is split-invariant).  Each call costs
+        O(n * total) time; memory is O(total) for the history and
+        prediction coefficients.
         """
         n = require_positive_int(n, "n")
         if rng is None:
             rng = np.random.default_rng()
-        self.reset()
-        self._extend_acf(n)
+        k0 = self._n
+        total = k0 + n
+        self._extend_acf(total)
+        self._grow(total)
         rho = self._rho
-        # Local, loop-friendly state (avoids attribute lookups in the
-        # O(n) inner loop; the heavy lifting is numpy dot products).
-        out = np.empty(n)
-        phi = np.empty(n)
-        out[0] = rng.normal(0.0, np.sqrt(self.variance))
-        v = self.variance
-        n_prev, d_prev = 0.0, 1.0
+        hist = self._hist
+        phi = self._phi
+        v = self._v
+        n_prev, d_prev = self._n_prev, self._d_prev
+        start = k0
+        if k0 == 0:
+            hist[0] = rng.normal(0.0, np.sqrt(self.variance))
+            start = 1
+        # One bulk draw per chunk; noise[k - k0] drives step k, so the
+        # first-ever chunk leaves noise[0] unused exactly like the
+        # batch path (which draws X_0 from rng.normal separately).
         noise = rng.standard_normal(n)
-        for k in range(1, n):
+        for k in range(start, total):
             if k == 1:
                 n_k = rho[1]
             else:
@@ -154,18 +150,73 @@ class HoskingGenerator:
             if k > 1:
                 phi[: k - 1] -= phi_kk * phi[k - 2 :: -1].copy()
             phi[k - 1] = phi_kk
-            m_k = phi[:k] @ out[k - 1 :: -1]
+            m_k = phi[:k] @ hist[k - 1 :: -1]
             v *= 1.0 - phi_kk * phi_kk
             if v <= 0:
                 raise RuntimeError(f"conditional variance collapsed at step {k}")
-            out[k] = m_k + np.sqrt(v) * noise[k]
+            hist[k] = m_k + np.sqrt(v) * noise[k - k0]
             n_prev, d_prev = n_k, d_k
-        # Mirror the final state so the streaming API could continue.
-        self._x = out.tolist()
-        self._phi = phi[: n - 1].copy() if n > 1 else np.zeros(0)
+        self._n = total
         self._v = v
         self._n_prev, self._d_prev = n_prev, d_prev
-        return out
+        return hist[k0:total].copy()
+
+    def next(self, rng):
+        """Draw the next point of the realization.
+
+        Equivalent to the per-point form of :meth:`extend` except that
+        the sample is drawn as ``rng.normal(m_k, sqrt(v_k))`` directly
+        (one Gaussian per call rather than a bulk chunk).
+
+        Parameters
+        ----------
+        rng:
+            A :class:`numpy.random.Generator`.
+        """
+        k = self._n
+        self._extend_acf(k)
+        self._grow(k + 1)
+        hist = self._hist
+        phi = self._phi
+        if k == 0:
+            x = rng.normal(0.0, np.sqrt(self._v))
+            hist[0] = x
+            self._n = 1
+            return float(x)
+        rho = self._rho
+        if k == 1:
+            n_k = rho[1]
+        else:
+            n_k = rho[k] - phi[: k - 1] @ rho[k - 1 : 0 : -1]
+        d_k = self._d_prev - self._n_prev**2 / self._d_prev
+        phi_kk = n_k / d_k
+        if not -1.0 < phi_kk < 1.0:
+            raise RuntimeError(
+                f"partial autocorrelation left (-1, 1) at step {k}; numerical breakdown"
+            )
+        if k > 1:
+            phi[: k - 1] -= phi_kk * phi[k - 2 :: -1].copy()
+        phi[k - 1] = phi_kk
+        m_k = phi[:k] @ hist[k - 1 :: -1]
+        self._v *= 1.0 - phi_kk**2
+        x = rng.normal(m_k, np.sqrt(self._v))
+        self._n_prev = n_k
+        self._d_prev = d_k
+        hist[k] = x
+        self._n = k + 1
+        return float(x)
+
+    def generate(self, n, rng=None):
+        """Generate a fresh realization of length ``n``.
+
+        Resets any previous state first; use :meth:`extend` for
+        incremental continuation.  Cost is O(n^2) time and O(n) memory.
+        """
+        n = require_positive_int(n, "n")
+        if rng is None:
+            rng = np.random.default_rng()
+        self.reset()
+        return self.extend(n, rng=rng)
 
     def __repr__(self):
         return f"HoskingGenerator(hurst={self.hurst:.4g}, variance={self.variance:.4g})"

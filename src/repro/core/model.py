@@ -22,13 +22,14 @@ import numpy as np
 from repro._validation import require_in_open_interval, require_positive, require_positive_int
 from repro.core.daviesharte import DaviesHarteGenerator
 from repro.core.hosking import HoskingGenerator
+from repro.core.paxson import PaxsonGenerator
 from repro.core.transform import marginal_transform
 from repro.distributions.hybrid import GammaParetoHybrid
 from repro.distributions.normal import Normal
 
 __all__ = ["VBRVideoModel"]
 
-_GENERATORS = ("hosking", "davies-harte")
+_GENERATORS = ("hosking", "davies-harte", "paxson")
 
 
 class VBRVideoModel:
@@ -98,13 +99,17 @@ class VBRVideoModel:
         """The intermediate Gaussian LRD realization (before eq. 13).
 
         ``generator="hosking"`` uses the paper's exact O(n^2)
-        algorithm; ``"davies-harte"`` the O(n log n) FGN generator.
+        algorithm; ``"davies-harte"`` the exact O(n log n) FGN
+        generator; ``"paxson"`` the approximate O(n log n) spectral
+        synthesizer (fastest, requires even ``n``).
         """
         n = require_positive_int(n, "n")
         if generator == "hosking":
             return HoskingGenerator(hurst=self.hurst).generate(n, rng=rng)
         if generator == "davies-harte":
             return DaviesHarteGenerator(self.hurst).generate(n, rng=rng)
+        if generator == "paxson":
+            return PaxsonGenerator(self.hurst).generate(n, rng=rng)
         raise ValueError(f"generator must be one of {_GENERATORS}, got {generator!r}")
 
     def generate(self, n, rng=None, generator="hosking", method="exact", n_table=10_000):
@@ -120,8 +125,9 @@ class VBRVideoModel:
         rng:
             A :class:`numpy.random.Generator`.
         generator:
-            ``"hosking"`` (paper-exact, O(n^2)) or ``"davies-harte"``
-            (O(n log n); recommended for n above ~20,000).
+            ``"hosking"`` (paper-exact, O(n^2)), ``"davies-harte"``
+            (exact, O(n log n); recommended for n above ~20,000) or
+            ``"paxson"`` (approximate, O(n log n); fastest).
         method:
             ``"exact"`` or ``"table"`` marginal transform; the paper
             used a 10,000-point table (see

@@ -1,0 +1,133 @@
+"""Paxson's FFT-based approximate fractional-Gaussian-noise synthesizer.
+
+Paxson ("Fast, Approximate Synthesis of Fractional Gaussian Noise for
+Generating Self-Similar Network Traffic", CCR 1997; see PAPERS.md)
+observes that the periodogram of fGn at frequency ``lambda`` is
+approximately an independent exponential with mean ``f(lambda; H)``,
+the fGn spectral density.  Running that observation backwards gives a
+synthesizer: draw independent complex-Gaussian spectral coefficients
+whose expected power follows ``f``, enforce Hermitian symmetry, and
+inverse-FFT.  The result is approximate (the coefficients of the true
+discrete process are neither exactly independent nor exactly of that
+power) but the bias is small and the cost is a single O(n log n) FFT
+with O(n) memory and *no* large intermediate state -- roughly half the
+work of the exact Davies-Harte method, and the classical answer to the
+source paper's "10 hours for 171,000 points" generation bottleneck.
+
+The spectral density uses Paxson's B-tilde_3 finite-sum approximation
+of the infinite aliasing sum, including his empirical correction
+factor, which he reports is accurate to within 0.01% of the true
+density across ``H`` in [0.5, 0.9]:
+
+    ``f(l; H) = A(l, H) [ |l|^{-2H-1} + B3(l, H) ]``
+    ``A(l, H) = 2 sin(pi H) Gamma(2H + 1) (1 - cos l)``
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy import special
+
+from repro._validation import require_in_open_interval, require_positive, require_positive_int
+
+__all__ = ["PaxsonGenerator", "paxson_fgn", "fgn_spectral_density"]
+
+
+def fgn_spectral_density(lam, hurst):
+    """Approximate fGn spectral density ``f(lambda; H)`` (unit variance).
+
+    Implements Paxson's corrected three-term approximation ``B3`` of
+    the aliasing sum ``B(lambda, H)``.  ``lam`` is an array of
+    frequencies in ``(0, pi]``.
+    """
+    hurst = require_in_open_interval(hurst, "hurst", 0.0, 1.0)
+    lam = np.asarray(lam, dtype=float)
+    if np.any((lam <= 0) | (lam > np.pi)):
+        raise ValueError("frequencies must lie in (0, pi]")
+    d = -2.0 * hurst - 1.0
+    dprime = -2.0 * hurst
+    a = 2.0 * np.pi * np.arange(1, 5)[:, None] + lam[None, :]
+    b = 2.0 * np.pi * np.arange(1, 5)[:, None] - lam[None, :]
+    b3 = (
+        np.sum(a[:3] ** d + b[:3] ** d, axis=0)
+        + (a[2] ** dprime + b[2] ** dprime + a[3] ** dprime + b[3] ** dprime)
+        / (8.0 * hurst * np.pi)
+    )
+    b3 = (1.0002 - 0.000134 * lam) * (b3 - 2.0 ** (-7.65 * hurst - 7.4))
+    front = 2.0 * np.sin(np.pi * hurst) * special.gamma(2.0 * hurst + 1.0) * (1.0 - np.cos(lam))
+    return front * (np.abs(lam) ** d + b3)
+
+
+class PaxsonGenerator:
+    """Approximate O(n log n) fractional-Gaussian-noise generator.
+
+    Parameters
+    ----------
+    hurst:
+        Hurst parameter in (0, 1).
+    variance:
+        Marginal variance of the noise (mean is zero).
+
+    The spectral power profile depends only on ``(hurst, n)``; it is
+    cached so repeated same-length generations (the streaming block
+    sources re-draw fixed-size blocks forever) pay the density
+    evaluation only once.
+    """
+
+    def __init__(self, hurst, variance=1.0):
+        self.hurst = require_in_open_interval(hurst, "hurst", 0.0, 1.0)
+        self.variance = require_positive(variance, "variance")
+        self._cached_n = None
+        self._cached_sqrt_power = None
+        self._cached_scale = None
+
+    def _sqrt_power(self, n):
+        if self._cached_n == n:
+            return self._cached_sqrt_power, self._cached_scale
+        half = n // 2
+        lam = 2.0 * np.pi * np.arange(1, half + 1) / n
+        f = fgn_spectral_density(lam, self.hurst)
+        # E[X_t^2] of the synthesized path is (2 sum_{j<n/2} f_j + f_{n/2}) / n
+        # (each interior frequency appears with its conjugate); rescale so
+        # the marginal variance is exactly the requested one.
+        sigma2 = (2.0 * np.sum(f[:-1]) + f[-1]) / n
+        self._cached_n = n
+        self._cached_sqrt_power = np.sqrt(f)
+        self._cached_scale = np.sqrt(self.variance / sigma2)
+        return self._cached_sqrt_power, self._cached_scale
+
+    def generate(self, n, rng=None):
+        """Generate an approximate fGn path of length ``n``.
+
+        The FFT synthesis works on an even grid; odd lengths are
+        produced by synthesizing ``n + 1`` points and dropping the last
+        (the process is stationary, so truncation is harmless).
+        """
+        n = require_positive_int(n, "n")
+        if rng is None:
+            rng = np.random.default_rng()
+        if n == 1:
+            return rng.normal(0.0, np.sqrt(self.variance), size=1)
+        if n % 2:
+            return self.generate(n + 1, rng=rng)[:n]
+        half = n // 2
+        sqrt_f, scale = self._sqrt_power(n)
+        # Hermitian-symmetric spectrum: interior coefficients are complex
+        # Gaussian with E|z_j|^2 = f_j, the Nyquist coefficient is real,
+        # and the zero frequency carries no power (zero-mean noise).
+        z = np.empty(half + 1, dtype=complex)
+        z[0] = 0.0
+        re = rng.standard_normal(half - 1)
+        im = rng.standard_normal(half - 1)
+        z[1:half] = sqrt_f[: half - 1] / np.sqrt(2.0) * (re + 1j * im)
+        z[half] = sqrt_f[half - 1] * rng.standard_normal()
+        x = np.fft.irfft(z, n) * np.sqrt(n)
+        return x * scale
+
+    def __repr__(self):
+        return f"PaxsonGenerator(hurst={self.hurst:.4g}, variance={self.variance:.4g})"
+
+
+def paxson_fgn(n, hurst=0.8, variance=1.0, rng=None):
+    """Convenience wrapper: one approximate fGn path of length ``n``."""
+    return PaxsonGenerator(hurst, variance=variance).generate(n, rng=rng)

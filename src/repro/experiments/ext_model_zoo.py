@@ -4,13 +4,16 @@ Fig. 16 compares the trace against three models.  The library has
 grown a zoo of seven; this experiment runs them all through the same
 zero-loss Q-C harness and ranks them by closeness to the trace:
 
-- ``full-model``       -- fARIMA + Gamma/Pareto (the paper's model);
-- ``composite``        -- the SRD-augmented variant (paper future work);
-- ``gaussian-farima``  -- LRD only;
-- ``iid-gamma-pareto`` -- heavy tail only;
-- ``ar1``              -- classical Gaussian Markov model;
-- ``dar1``             -- Markov chain with the correct marginal;
-- ``markov-fluid``     -- the historical Maglaris on/off model.
+- ``full-model``        -- fARIMA + Gamma/Pareto (the paper's model);
+- ``full-model-paxson`` -- same model driven by Paxson's approximate
+  O(n log n) fGn synthesizer instead of the exact generator, so the
+  harness doubles as an exact-vs-approximate comparison;
+- ``composite``         -- the SRD-augmented variant (paper future work);
+- ``gaussian-farima``   -- LRD only;
+- ``iid-gamma-pareto``  -- heavy tail only;
+- ``ar1``               -- classical Gaussian Markov model;
+- ``dar1``              -- Markov chain with the correct marginal;
+- ``markov-fluid``      -- the historical Maglaris on/off model.
 
 Expected ranking (verified by the benchmark): the two models with both
 features (full, composite) track the trace best; single-feature models
@@ -50,6 +53,7 @@ def build_zoo_series(trace, seed=41):
     sources = {
         "trace": x,
         "full-model": model.generate(n, rng=rng, generator="davies-harte"),
+        "full-model-paxson": model.generate(n, rng=rng, generator="paxson"),
         "composite": composite.generate(n, rng=rng),
         "gaussian-farima": GaussianFarimaModel(
             mean, std, model.hurst, generator="davies-harte"

@@ -88,11 +88,16 @@ def simulate_queue(arrivals, capacity_per_slot, buffer_bytes, return_series=Fals
     backlog = 0.0
     lost = 0.0
     peak = 0.0
+    total = 0.0
     # Tight scalar loop; numpy arrays are indexed through a list for
     # speed (Python-level float ops beat per-element ndarray access).
+    # The offered total is accumulated in the same left-to-right order
+    # so the streaming fold (repro.stream.queueing) reproduces every
+    # statistic bit-for-bit.
     values = a.tolist()
     if return_series:
         for t, arrival in enumerate(values):
+            total += arrival
             backlog += arrival - c
             if backlog > q:
                 overflow = backlog - q
@@ -105,6 +110,7 @@ def simulate_queue(arrivals, capacity_per_slot, buffer_bytes, return_series=Fals
                 peak = backlog
     else:
         for arrival in values:
+            total += arrival
             backlog += arrival - c
             if backlog > q:
                 lost += backlog - q
@@ -116,7 +122,7 @@ def simulate_queue(arrivals, capacity_per_slot, buffer_bytes, return_series=Fals
     return QueueResult(
         capacity_per_slot=c,
         buffer_bytes=q,
-        total_bytes=float(a.sum()),
+        total_bytes=total,
         lost_bytes=lost,
         final_backlog=backlog,
         peak_backlog=peak,

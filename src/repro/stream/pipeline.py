@@ -1,0 +1,326 @@
+"""Composable bounded-memory chunk pipelines.
+
+:class:`Stream` wraps an iterator of 1-D float chunks and supports the
+operations the paper's workflow needs -- elementwise maps (marginal
+transform, scaling), merging independent sources, and the paper's
+lagged-copy statistical multiplexing -- all without materializing the
+series.  A stream is single-use: iterating it consumes it, exactly
+like the underlying generator.
+
+:func:`multiplex_lagged` reproduces the semantics of
+:func:`repro.simulation.multiplex.multiplex_series` (sum of
+cyclically shifted copies of one length-``n`` series) with a bounded
+ring buffer: memory is O(max lag + chunk), independent of ``n``,
+because only the first ``max(lags)`` samples (for the cyclic
+wraparound) and a sliding window of width ``max(lags)`` are retained.
+
+:class:`ParallelSources` generates N *independent* sources on a
+:mod:`concurrent.futures` thread pool -- the FFT work inside the block
+sources releases the GIL, so aggregate throughput scales with cores --
+and yields the per-chunk sum (the aggregate arrival process of N
+independently multiplexed sources) or the list of per-source chunks.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+
+import numpy as np
+
+from repro._validation import as_1d_float_array, require_positive_int
+from repro.stream.transform import StreamingMarginalTransform
+
+__all__ = ["Stream", "merge_streams", "multiplex_lagged", "ParallelSources"]
+
+_END = object()
+
+
+def _rechunk(chunks, chunk_size):
+    """Re-slice an iterable of arrays into ``chunk_size``-sample pieces."""
+    pending = []
+    pending_size = 0
+    for piece in chunks:
+        piece = np.asarray(piece, dtype=float)
+        if piece.size == 0:
+            continue
+        pending.append(piece)
+        pending_size += piece.size
+        while pending_size >= chunk_size:
+            merged = pending[0] if len(pending) == 1 else np.concatenate(pending)
+            yield merged[:chunk_size]
+            rest = merged[chunk_size:]
+            pending = [rest] if rest.size else []
+            pending_size = rest.size
+    if pending_size:
+        yield pending[0] if len(pending) == 1 else np.concatenate(pending)
+
+
+class Stream:
+    """A single-use iterator of 1-D float chunks with known total length.
+
+    ``n`` is the total sample count when known (sources know it; pure
+    iterators may not).  All combinators are lazy: nothing is computed
+    until the stream is iterated, and peak memory is one chunk per
+    pipeline stage.
+    """
+
+    def __init__(self, chunks, n=None):
+        self._chunks = iter(chunks)
+        self.n = None if n is None else int(n)
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_source(cls, source, n, chunk_size, rng=None):
+        """Stream ``n`` samples from a :class:`~repro.stream.sources.ChunkSource`."""
+        return cls(source.chunks(n, chunk_size, rng=rng), n=n)
+
+    @classmethod
+    def from_array(cls, data, chunk_size=65_536):
+        """Stream an in-memory series (tests, trace-driven pipelines)."""
+        arr = as_1d_float_array(data, "data")
+        chunk_size = require_positive_int(chunk_size, "chunk_size")
+        gen = (arr[i : i + chunk_size] for i in range(0, arr.size, chunk_size))
+        return cls(gen, n=arr.size)
+
+    # ------------------------------------------------------------------
+    # Combinators (lazy)
+    # ------------------------------------------------------------------
+    def map(self, fn):
+        """Apply ``fn`` to every chunk (must be elementwise/length-preserving)."""
+        return Stream((fn(chunk) for chunk in self._chunks), n=self.n)
+
+    def scale(self, factor):
+        """Multiply every sample by ``factor``."""
+        factor = float(factor)
+        return self.map(lambda chunk: chunk * factor)
+
+    def shift(self, offset):
+        """Add ``offset`` to every sample."""
+        offset = float(offset)
+        return self.map(lambda chunk: chunk + offset)
+
+    def transform(self, target, source=None, method="exact", n_table=10_000):
+        """Impose a marginal distribution chunkwise (eq. 13 of the paper)."""
+        return self.map(
+            StreamingMarginalTransform(target, source=source, method=method, n_table=n_table)
+        )
+
+    def rechunk(self, chunk_size):
+        """Re-slice into chunks of exactly ``chunk_size`` (last may be short)."""
+        chunk_size = require_positive_int(chunk_size, "chunk_size")
+        return Stream(_rechunk(self._chunks, chunk_size), n=self.n)
+
+    def observe(self, *folders):
+        """Pass chunks through unchanged, updating online accumulators.
+
+        Each folder must expose ``update(chunk)`` (the estimators) or
+        ``push(chunk)`` (the streaming queue).  Lets one pass over the
+        data feed statistics while the chunks continue downstream.
+        """
+        updates = [getattr(f, "update", None) or f.push for f in folders]
+
+        def _tap(chunk):
+            for update in updates:
+                update(chunk)
+            return chunk
+
+        return self.map(_tap)
+
+    # ------------------------------------------------------------------
+    # Consumers
+    # ------------------------------------------------------------------
+    def __iter__(self):
+        return self._chunks
+
+    def drain(self, *folders):
+        """Consume the stream into online accumulators; returns them.
+
+        With no folders the stream is simply exhausted (useful after
+        :meth:`observe`).
+        """
+        updates = [getattr(f, "update", None) or f.push for f in folders]
+        for chunk in self._chunks:
+            for update in updates:
+                update(chunk)
+        return folders
+
+    def to_array(self):
+        """Materialize the whole stream -- O(n) memory, for tests only."""
+        pieces = list(self._chunks)
+        if not pieces:
+            return np.zeros(0)
+        return np.concatenate(pieces)
+
+
+def merge_streams(streams, chunk_size=65_536):
+    """Elementwise sum of equal-length streams (aggregate arrivals).
+
+    Each stream is rechunked to a common ``chunk_size`` and the
+    corresponding chunks are added; all streams must carry the same
+    number of samples.
+    """
+    streams = list(streams)
+    if not streams:
+        raise ValueError("streams must contain at least one stream")
+    lengths = {s.n for s in streams if s.n is not None}
+    if len(lengths) > 1:
+        raise ValueError(f"streams must share one length, got {sorted(lengths)}")
+
+    def _merged():
+        iterators = [iter(s.rechunk(chunk_size)) for s in streams]
+        while True:
+            pieces = [next(it, _END) for it in iterators]
+            done = [piece is _END for piece in pieces]
+            if all(done):
+                return
+            if any(done) or len({p.size for p in pieces}) > 1:
+                raise ValueError("streams ended at different lengths")
+            total = pieces[0].copy()
+            for piece in pieces[1:]:
+                total += piece
+            yield total
+
+    return Stream(_merged(), n=streams[0].n)
+
+
+def multiplex_lagged(stream, lags, n=None, chunk_size=None):
+    """Streaming equivalent of :func:`~repro.simulation.multiplex.multiplex_series`.
+
+    The input stream carries one period (``n`` samples) of the source
+    series; the output is the sum of ``len(lags)`` cyclically shifted
+    copies, ``out[t] = sum_i x[(t + lag_i) mod n]``, emitted in chunks.
+    Memory is bounded by O(max lag + chunk): a head buffer of the first
+    ``max(lags)`` samples serves the cyclic wraparound and a sliding
+    window covers the look-ahead ``t + lag_i``.
+
+    ``n`` defaults to ``stream.n`` and must be known.
+    """
+    if n is None:
+        n = stream.n
+    if n is None:
+        raise ValueError("the series period n must be known for cyclic multiplexing")
+    n = require_positive_int(n, "n")
+    lags = np.asarray(lags, dtype=int)
+    if lags.ndim != 1 or lags.size < 1:
+        raise ValueError("lags must be a non-empty 1-D array of integers")
+    lags = lags % n
+    max_lag = int(lags.max())
+
+    def _multiplexed():
+        head = np.empty(max_lag)
+        head_fill = 0
+        buf = np.zeros(0)
+        buf_start = 0  # buf holds x[buf_start : buf_start + buf.size]
+        out_pos = 0
+        read = 0
+        for chunk in stream:
+            chunk = np.asarray(chunk, dtype=float)
+            if head_fill < max_lag:
+                take = min(max_lag - head_fill, chunk.size)
+                head[head_fill : head_fill + take] = chunk[:take]
+                head_fill += take
+            buf = np.concatenate((buf, chunk))
+            read += chunk.size
+            if read > n:
+                raise ValueError(f"stream is longer than the declared period n={n}")
+            emit_hi = read - max_lag
+            if emit_hi > out_pos:
+                out = np.zeros(emit_hi - out_pos)
+                for lag in lags:
+                    lo = out_pos + int(lag) - buf_start
+                    out += buf[lo : lo + out.size]
+                # Drop samples below the next output index; the cyclic
+                # wraparound only ever reads from the head buffer.
+                buf = buf[emit_hi - buf_start :]
+                buf_start = emit_hi
+                out_pos = emit_hi
+                yield out
+        if read != n:
+            raise ValueError(f"stream ended after {read} of n={n} samples")
+        if out_pos < n:
+            out = np.zeros(n - out_pos)
+            for lag in lags:
+                lag = int(lag)
+                split = max(out_pos, min(n - lag, n))
+                if split > out_pos:
+                    lo = out_pos + lag - buf_start
+                    out[: split - out_pos] += buf[lo : lo + (split - out_pos)]
+                if split < n:
+                    wrap_lo = split + lag - n
+                    out[split - out_pos :] += head[wrap_lo : wrap_lo + (n - split)]
+            yield out
+
+    result = Stream(_multiplexed(), n=n)
+    if chunk_size is not None:
+        result = result.rechunk(chunk_size)
+    return result
+
+
+class ParallelSources:
+    """Generate N independent sources concurrently on a thread pool.
+
+    Parameters
+    ----------
+    sources:
+        A list of :class:`~repro.stream.sources.ChunkSource` objects,
+        one per traffic source.  They are driven by independent child
+        generators spawned from one seed stream, so results are
+        reproducible for a fixed ``rng`` and worker count does not
+        affect the values.
+    max_workers:
+        Thread-pool width; defaults to ``len(sources)``.
+
+    The FFT and BLAS work inside the sources releases the GIL, so the
+    pool gives real parallelism for the block sources without the
+    pickling constraints of process pools.
+    """
+
+    def __init__(self, sources, max_workers=None):
+        self.sources = list(sources)
+        if not self.sources:
+            raise ValueError("sources must contain at least one source")
+        self.max_workers = (
+            len(self.sources) if max_workers is None
+            else require_positive_int(max_workers, "max_workers")
+        )
+
+    def chunks(self, n, chunk_size, rng=None, aggregate=True):
+        """Yield per-step results across all sources.
+
+        With ``aggregate=True`` each step yields the elementwise sum of
+        every source's next chunk (the multiplexed arrival process);
+        otherwise it yields the list of per-source chunks.
+        """
+        n = require_positive_int(n, "n")
+        chunk_size = require_positive_int(chunk_size, "chunk_size")
+        if rng is None:
+            rng = np.random.default_rng()
+        child_rngs = rng.spawn(len(self.sources))
+        iterators = [
+            src.chunks(n, chunk_size, rng=child)
+            for src, child in zip(self.sources, child_rngs)
+        ]
+        executor = concurrent.futures.ThreadPoolExecutor(max_workers=self.max_workers)
+        try:
+            while True:
+                futures = [executor.submit(next, it, _END) for it in iterators]
+                pieces = [f.result() for f in futures]
+                if pieces[0] is _END:
+                    if any(piece is not _END for piece in pieces):
+                        raise RuntimeError("sources ended at different lengths")
+                    return
+                if aggregate:
+                    total = pieces[0].copy()
+                    for piece in pieces[1:]:
+                        total += piece
+                    yield total
+                else:
+                    yield pieces
+        finally:
+            executor.shutdown(wait=False, cancel_futures=True)
+
+    def stream(self, n, chunk_size, rng=None):
+        """The aggregate arrival process as a :class:`Stream`."""
+        return Stream(self.chunks(n, chunk_size, rng=rng, aggregate=True), n=n)

@@ -22,6 +22,18 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["simulate", "t.dat"])
 
+    def test_stream_defaults(self):
+        args = build_parser().parse_args(["stream"])
+        assert args.command == "stream"
+        assert args.samples == 1_000_000
+        assert args.chunk == 65_536
+        assert args.backend == "paxson"
+        assert args.out == "-"
+
+    def test_stream_rejects_unknown_backend(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["stream", "--backend", "exact"])
+
 
 class TestCommands:
     def test_synthesize_roundtrip(self, tmp_path, capsys):
@@ -100,3 +112,73 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "VERDICT" in out
         assert "Hurst panel" in out
+
+
+class TestStreamCommand:
+    def test_npy_output(self, tmp_path, capsys):
+        out = tmp_path / "frames.npy"
+        code = main([
+            "stream", "--samples", "20000", "--chunk", "4096",
+            "--backend", "paxson", "--block-size", "4096", "--overlap", "256",
+            "--out", str(out), "--stats",
+        ])
+        assert code == 0
+        x = np.load(out)
+        assert x.shape == (20_000,)
+        assert np.mean(x) == pytest.approx(27_791, rel=0.1)
+        printed = capsys.readouterr().out
+        assert "streamed 20000 samples" in printed
+        assert "mean" in printed
+
+    def test_stdout_lines(self, capsys):
+        code = main([
+            "stream", "--samples", "500", "--chunk", "128",
+            "--backend", "hosking", "--gaussian",
+        ])
+        assert code == 0
+        captured = capsys.readouterr()
+        lines = captured.out.strip().split("\n")
+        assert len(lines) == 500
+        float(lines[0])  # each line is one sample
+        assert "streamed 500 samples" in captured.err
+
+    def test_matches_batch_model(self, tmp_path):
+        """CLI hosking stream == VBRVideoModel.generate under the seed."""
+        out = tmp_path / "s.npy"
+        main([
+            "stream", "--samples", "800", "--chunk", "100",
+            "--backend", "hosking", "--seed", "42", "--out", str(out),
+        ])
+        from repro.core.model import VBRVideoModel
+
+        model = VBRVideoModel(27_791.0, 6_254.0, 12.0, 0.8)
+        ref = model.generate(800, rng=np.random.default_rng(42), generator="hosking")
+        np.testing.assert_array_equal(np.load(out), ref)
+
+    def test_multi_source_aggregate(self, tmp_path, capsys):
+        out = tmp_path / "agg.npy"
+        code = main([
+            "stream", "--samples", "8000", "--chunk", "2048",
+            "--block-size", "2048", "--overlap", "128",
+            "--sources", "3", "--out", str(out),
+        ])
+        assert code == 0
+        x = np.load(out)
+        assert x.shape == (8000,)
+        # The summed Gaussians are renormalized through the N(0, sqrt(N))
+        # source law, so the emitted traffic keeps the paper marginal.
+        assert np.mean(x) == pytest.approx(27_791, rel=0.1)
+
+    def test_table_transform(self, tmp_path):
+        out = tmp_path / "t.npy"
+        code = main([
+            "stream", "--samples", "5000", "--chunk", "1024",
+            "--block-size", "1024", "--overlap", "64",
+            "--table", "--out", str(out),
+        ])
+        assert code == 0
+        assert np.load(out).shape == (5000,)
+
+    def test_rejects_bad_samples(self):
+        with pytest.raises(SystemExit):
+            main(["stream", "--samples", "0"])

@@ -65,6 +65,13 @@ class TestExamples:
         assert "GOP spectral line" in out
         assert "Hurst parameter" in out
 
+    def test_streaming_demo(self):
+        out = run_example("streaming_demo.py", "--samples", "300000")
+        assert "One-pass marginal statistics" in out
+        assert "Streaming variance-time Hurst estimate" in out
+        assert "loss rate" in out
+        assert "traced allocation peak" in out
+
     def test_estimator_comparison(self):
         out = run_example("estimator_comparison.py", "--frames", "8000")
         assert "true H = 0.800" in out

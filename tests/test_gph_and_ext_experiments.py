@@ -120,8 +120,8 @@ class TestExtModelZoo:
 
     def test_all_models_present(self, zoo):
         expected = {
-            "full-model", "composite", "gaussian-farima", "iid-gamma-pareto",
-            "ar1", "dar1", "markov-fluid",
+            "full-model", "full-model-paxson", "composite", "gaussian-farima",
+            "iid-gamma-pareto", "ar1", "dar1", "markov-fluid",
         }
         assert set(zoo["offsets"]) == expected
 

@@ -140,3 +140,66 @@ class TestConditionalRecursion:
         g.next(rng)
         g.next(rng)
         assert g._phi[0] == pytest.approx(0.3 / 0.7, rel=1e-10)
+
+
+class TestExtend:
+    """The resumable extend() API behind the streaming sources."""
+
+    def test_extend_equals_generate(self):
+        ref = HoskingGenerator(hurst=0.8).generate(400, rng=np.random.default_rng(17))
+        g = HoskingGenerator(hurst=0.8)
+        out = g.extend(400, rng=np.random.default_rng(17))
+        np.testing.assert_array_equal(out, ref)
+
+    def test_chunked_extend_byte_compatible(self):
+        """Any chunking of extend() reproduces the batch draw exactly
+        (the Gaussian stream split invariance of numpy generators)."""
+        ref = HoskingGenerator(hurst=0.8).generate(500, rng=np.random.default_rng(23))
+        for chunks in ([500], [1] * 10 + [490], [123, 77, 300], [499, 1]):
+            g = HoskingGenerator(hurst=0.8)
+            rng = np.random.default_rng(23)
+            parts = [g.extend(k, rng=rng) for k in chunks]
+            np.testing.assert_array_equal(np.concatenate(parts), ref)
+
+    def test_extend_returns_only_new_samples(self):
+        g = HoskingGenerator(hurst=0.8)
+        rng = np.random.default_rng(5)
+        a = g.extend(100, rng=rng)
+        b = g.extend(50, rng=rng)
+        assert a.shape == (100,)
+        assert b.shape == (50,)
+        assert g.n_generated == 150
+        np.testing.assert_array_equal(g.generated[:100], a)
+        np.testing.assert_array_equal(g.generated[100:], b)
+
+    def test_extend_after_next(self):
+        """next() and extend() share the same recursion state."""
+        rng = np.random.default_rng(9)
+        g = HoskingGenerator(hurst=0.8)
+        g.reset()
+        singles = [g.next(rng) for _ in range(30)]
+        more = g.extend(20, rng=rng)
+        assert g.n_generated == 50
+        np.testing.assert_array_equal(g.generated[:30], singles)
+        np.testing.assert_array_equal(g.generated[30:], more)
+
+    def test_wrapper_byte_compatible_with_streaming(self):
+        """hosking_farima stays the reference the stream sources hit."""
+        ref = hosking_farima(300, hurst=0.75, rng=np.random.default_rng(31))
+        g = HoskingGenerator(hurst=0.75)
+        rng = np.random.default_rng(31)
+        out = np.concatenate([g.extend(100, rng=rng) for _ in range(3)])
+        np.testing.assert_array_equal(out, ref)
+
+    def test_reset_clears_extend_state(self):
+        g = HoskingGenerator(hurst=0.8)
+        g.extend(50, rng=np.random.default_rng(1))
+        g.reset()
+        assert g.n_generated == 0
+        again = g.extend(50, rng=np.random.default_rng(1))
+        g2 = HoskingGenerator(hurst=0.8)
+        np.testing.assert_array_equal(again, g2.extend(50, rng=np.random.default_rng(1)))
+
+    def test_extend_rejects_bad_length(self):
+        with pytest.raises(ValueError):
+            HoskingGenerator(hurst=0.8).extend(0, rng=np.random.default_rng(0))

@@ -1,0 +1,143 @@
+"""Tests for Paxson's FFT-based approximate fGn synthesizer.
+
+The exact Davies-Harte generator is the yardstick throughout: the
+Paxson path is *approximate*, so the tests assert that its sample
+statistics (variance, autocorrelation, Hurst estimates) agree with the
+exact generator's, rather than pinning absolute constants that the
+known small bias of parametric estimators on fGn would break.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.hurst import variance_time, whittle
+from repro.core.daviesharte import DaviesHarteGenerator
+from repro.core.fractional import fgn_acf
+from repro.core.paxson import PaxsonGenerator, fgn_spectral_density, paxson_fgn
+
+
+class TestSpectralDensity:
+    def test_positive_on_domain(self):
+        lam = np.linspace(1e-4, np.pi, 500)
+        for hurst in (0.55, 0.7, 0.8, 0.9):
+            assert np.all(fgn_spectral_density(lam, hurst) > 0)
+
+    def test_low_frequency_power_law(self):
+        """f(l; H) ~ c * l^{1-2H} as l -> 0 (long-range dependence)."""
+        hurst = 0.8
+        lam = np.array([1e-4, 1e-3])
+        f = fgn_spectral_density(lam, hurst)
+        slope = np.log(f[1] / f[0]) / np.log(lam[1] / lam[0])
+        assert slope == pytest.approx(1.0 - 2.0 * hurst, abs=0.01)
+
+    def test_white_noise_is_flat(self):
+        """H = 1/2 is ordinary white noise: constant spectral density."""
+        lam = np.linspace(0.1, np.pi, 200)
+        f = fgn_spectral_density(lam, 0.5)
+        assert np.ptp(f) / np.mean(f) < 0.01
+
+    def test_rejects_out_of_range_frequencies(self):
+        with pytest.raises(ValueError):
+            fgn_spectral_density(np.array([0.0, 1.0]), 0.8)
+        with pytest.raises(ValueError):
+            fgn_spectral_density(np.array([3.5]), 0.8)
+
+    def test_rejects_bad_hurst(self):
+        with pytest.raises(ValueError):
+            fgn_spectral_density(np.array([1.0]), 1.0)
+
+
+class TestPaxsonGenerator:
+    def test_moments(self):
+        x = PaxsonGenerator(0.8, variance=4.0).generate(2**16, rng=np.random.default_rng(0))
+        assert np.mean(x) == pytest.approx(0.0, abs=0.2)
+        assert np.var(x) == pytest.approx(4.0, rel=0.1)
+
+    def test_variance_normalization_is_exact_in_expectation(self):
+        """Averaged over many paths the sample variance hits the target."""
+        gen = PaxsonGenerator(0.8)
+        rng = np.random.default_rng(1)
+        vars_ = [np.var(gen.generate(4096, rng=rng)) for _ in range(50)]
+        assert np.mean(vars_) == pytest.approx(1.0, rel=0.03)
+
+    def test_acf_matches_theory(self):
+        gen = PaxsonGenerator(0.8)
+        rng = np.random.default_rng(2)
+        acf = np.zeros(6)
+        n_paths = 40
+        for _ in range(n_paths):
+            x = gen.generate(2**13, rng=rng)
+            x = x - np.mean(x)
+            denom = float(np.dot(x, x))
+            for k in range(1, 6):
+                acf[k] += float(np.dot(x[:-k], x[k:])) / denom
+        acf /= n_paths
+        want = fgn_acf(0.8, 5)
+        np.testing.assert_allclose(acf[1:], want[1:], atol=0.04)
+
+    def test_hurst_estimates_match_exact_generator(self):
+        """The parametric Whittle estimator has a known model-mismatch
+        bias on true fGn; Paxson must land where the exact generator
+        lands, not at the nominal H."""
+        n = 2**15
+        exact = DaviesHarteGenerator(0.8).generate(n, rng=np.random.default_rng(3))
+        approx = PaxsonGenerator(0.8).generate(n, rng=np.random.default_rng(3))
+        h_exact = whittle(exact).hurst
+        h_approx = whittle(approx).hurst
+        assert h_approx == pytest.approx(h_exact, abs=0.03)
+        vt_exact = variance_time(exact).hurst
+        vt_approx = variance_time(approx).hurst
+        assert vt_approx == pytest.approx(vt_exact, abs=0.06)
+
+    def test_odd_length(self):
+        x = PaxsonGenerator(0.8).generate(1001, rng=np.random.default_rng(4))
+        assert x.shape == (1001,)
+
+    def test_length_one(self):
+        x = PaxsonGenerator(0.8).generate(1, rng=np.random.default_rng(5))
+        assert x.shape == (1,)
+
+    def test_deterministic_under_seed(self):
+        gen = PaxsonGenerator(0.8)
+        a = gen.generate(1024, rng=np.random.default_rng(6))
+        b = gen.generate(1024, rng=np.random.default_rng(6))
+        np.testing.assert_array_equal(a, b)
+
+    def test_power_profile_cached(self):
+        gen = PaxsonGenerator(0.8)
+        gen.generate(1024, rng=np.random.default_rng(7))
+        cached = gen._cached_sqrt_power
+        gen.generate(1024, rng=np.random.default_rng(8))
+        assert gen._cached_sqrt_power is cached
+
+    def test_repr(self):
+        assert "PaxsonGenerator" in repr(PaxsonGenerator(0.8))
+
+    def test_wrapper(self):
+        x = paxson_fgn(512, hurst=0.7, variance=2.0, rng=np.random.default_rng(9))
+        assert x.shape == (512,)
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            PaxsonGenerator(1.2)
+        with pytest.raises(ValueError):
+            PaxsonGenerator(0.8, variance=0.0)
+        with pytest.raises(ValueError):
+            PaxsonGenerator(0.8).generate(0)
+
+
+class TestModelIntegration:
+    def test_generate_gaussian_backend(self):
+        from repro.core.model import VBRVideoModel
+
+        model = VBRVideoModel(27_791.0, 6_254.0, 12.0, 0.8)
+        g = model.generate_gaussian(4096, rng=np.random.default_rng(10), generator="paxson")
+        assert np.var(g) == pytest.approx(1.0, rel=0.2)
+
+    def test_full_model_marginal(self):
+        from repro.core.model import VBRVideoModel
+
+        model = VBRVideoModel(27_791.0, 6_254.0, 12.0, 0.8)
+        x = model.generate(2**14, rng=np.random.default_rng(11), generator="paxson")
+        assert np.mean(x) == pytest.approx(27_791.0, rel=0.05)
+        assert np.all(x > 0)

@@ -1,0 +1,417 @@
+"""Tests for the constant-memory streaming pipeline (repro.stream).
+
+The load-bearing properties are exactness ones: chunked generation,
+transform and queueing must reproduce their batch counterparts
+bit-for-bit (or to machine precision) for *any* chunking, so the
+streaming pipeline can replace the batch path wherever memory demands
+it without changing a single result.
+"""
+
+import tracemalloc
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.hosking import hosking_farima
+from repro.core.transform import marginal_transform
+from repro.distributions.hybrid import GammaParetoHybrid
+from repro.distributions.normal import Normal
+from repro.simulation.multiplex import multiplex_series, random_lags
+from repro.simulation.queue import simulate_queue
+from repro.stream import (
+    ArraySource,
+    BlockFGNSource,
+    HoskingSource,
+    OnlineMoments,
+    ParallelSources,
+    Stream,
+    StreamingQueue,
+    StreamingVarianceTime,
+    make_source,
+    merge_streams,
+    multiplex_lagged,
+    simulate_queue_stream,
+)
+
+TARGET = GammaParetoHybrid(27_791.0, 6_254.0, 12.0)
+
+
+class TestStreamBasics:
+    def test_from_array_roundtrip(self):
+        x = np.arange(1000.0)
+        assert np.array_equal(Stream.from_array(x, 64).to_array(), x)
+
+    def test_rechunk_sizes(self):
+        chunks = list(Stream.from_array(np.arange(1000.0), 64).rechunk(300))
+        assert [c.size for c in chunks] == [300, 300, 300, 100]
+
+    def test_scale_shift(self):
+        x = np.arange(100.0)
+        out = Stream.from_array(x, 7).scale(2.0).shift(1.0).to_array()
+        np.testing.assert_array_equal(out, 2.0 * x + 1.0)
+
+    def test_single_use(self):
+        s = Stream.from_array(np.arange(10.0), 4)
+        s.to_array()
+        assert s.to_array().size == 0
+
+    def test_observe_and_drain(self):
+        x = np.arange(500.0)
+        om = OnlineMoments()
+        passed = Stream.from_array(x, 33).observe(om).to_array()
+        assert np.array_equal(passed, x)
+        assert om.count == 500
+        om2 = OnlineMoments()
+        Stream.from_array(x, 33).drain(om2)
+        assert om2.count == 500
+
+
+class TestHoskingSource:
+    def test_matches_batch_exactly(self):
+        ref = hosking_farima(800, hurst=0.8, rng=np.random.default_rng(5))
+        out = Stream.from_source(
+            HoskingSource(hurst=0.8), 800, 129, rng=np.random.default_rng(5)
+        ).to_array()
+        np.testing.assert_array_equal(out, ref)
+
+    @given(chunk=st.integers(min_value=1, max_value=400))
+    @settings(max_examples=10, deadline=None)
+    def test_chunking_invariant(self, chunk):
+        ref = hosking_farima(300, hurst=0.7, rng=np.random.default_rng(11))
+        out = Stream.from_source(
+            HoskingSource(hurst=0.7), 300, chunk, rng=np.random.default_rng(11)
+        ).to_array()
+        np.testing.assert_array_equal(out, ref)
+
+    def test_fresh_realization_per_call(self):
+        src = HoskingSource(hurst=0.8)
+        a = np.concatenate(list(src.chunks(200, 64, rng=np.random.default_rng(1))))
+        b = np.concatenate(list(src.chunks(200, 64, rng=np.random.default_rng(1))))
+        np.testing.assert_array_equal(a, b)
+
+
+class TestBlockFGNSource:
+    @pytest.mark.parametrize("backend", ["paxson", "davies-harte"])
+    def test_marginal_statistics(self, backend):
+        src = BlockFGNSource(0.8, block_size=8192, overlap=256, backend=backend)
+        x = Stream.from_source(src, 60_000, 8192, rng=np.random.default_rng(3)).to_array()
+        assert np.mean(x) == pytest.approx(0.0, abs=0.15)
+        assert np.var(x) == pytest.approx(1.0, abs=0.15)
+
+    def test_seam_preserves_variance(self):
+        """The cos/sin cross-fade must not dent the variance at seams."""
+        src = BlockFGNSource(0.8, block_size=2048, overlap=128, backend="paxson")
+        x = Stream.from_source(src, 2048 * 40, 2048, rng=np.random.default_rng(8)).to_array()
+        seam_samples = np.concatenate(
+            [x[k * 2048 : k * 2048 + 128] for k in range(1, 40)]
+        )
+        assert np.var(seam_samples) == pytest.approx(1.0, rel=0.15)
+
+    def test_deterministic(self):
+        src = BlockFGNSource(0.8, block_size=1024, overlap=64)
+        a = np.concatenate(list(src.chunks(5000, 999, rng=np.random.default_rng(2))))
+        b = np.concatenate(list(src.chunks(5000, 999, rng=np.random.default_rng(2))))
+        np.testing.assert_array_equal(a, b)
+
+    def test_zero_overlap(self):
+        src = BlockFGNSource(0.8, block_size=1024, overlap=0)
+        x = np.concatenate(list(src.chunks(3000, 1000, rng=np.random.default_rng(2))))
+        assert x.size == 3000
+
+    def test_hurst_recoverable(self):
+        from repro.analysis.hurst import variance_time
+
+        src = BlockFGNSource(0.8, block_size=16_384, overlap=512, backend="paxson")
+        x = Stream.from_source(src, 2**17, 16_384, rng=np.random.default_rng(7)).to_array()
+        h = variance_time(x).hurst
+        assert 0.68 < h < 0.92
+
+    def test_rejects_bad_overlap(self):
+        with pytest.raises(ValueError):
+            BlockFGNSource(0.8, block_size=100, overlap=100)
+
+    def test_rejects_bad_backend(self):
+        with pytest.raises(ValueError):
+            BlockFGNSource(0.8, backend="hosking")
+
+    def test_make_source(self):
+        assert isinstance(make_source("hosking"), HoskingSource)
+        assert make_source("davies-harte").backend == "davies-harte"
+        assert make_source("paxson").backend == "paxson"
+        with pytest.raises(ValueError):
+            make_source("exact")
+
+
+class TestStreamingTransform:
+    @given(chunk=st.integers(min_value=1, max_value=700))
+    @settings(max_examples=10, deadline=None)
+    def test_exact_method_bitwise_equal(self, chunk):
+        x = np.random.default_rng(0).standard_normal(600)
+        batch = marginal_transform(x, TARGET, source=Normal(0.0, 1.0))
+        streamed = Stream.from_array(x, chunk).transform(TARGET).to_array()
+        np.testing.assert_array_equal(streamed, batch)
+
+    def test_table_method_bitwise_equal(self):
+        x = np.random.default_rng(1).standard_normal(2000)
+        batch = marginal_transform(x, TARGET, source=Normal(0.0, 1.0), method="table")
+        streamed = Stream.from_array(x, 313).transform(TARGET, method="table").to_array()
+        np.testing.assert_array_equal(streamed, batch)
+
+    def test_full_pipeline_matches_model_generate(self):
+        """Streamed Hosking + transform == VBRVideoModel.generate."""
+        from repro.core.model import VBRVideoModel
+
+        model = VBRVideoModel(27_791.0, 6_254.0, 12.0, 0.8)
+        ref = model.generate(500, rng=np.random.default_rng(21), generator="hosking")
+        streamed = (
+            Stream.from_source(
+                HoskingSource(hurst=0.8), 500, 123, rng=np.random.default_rng(21)
+            )
+            .transform(model.marginal)
+            .to_array()
+        )
+        np.testing.assert_array_equal(streamed, ref)
+
+    def test_requires_normal_source(self):
+        from repro.stream.transform import StreamingMarginalTransform
+
+        with pytest.raises(TypeError):
+            StreamingMarginalTransform(TARGET, source=TARGET)
+
+    def test_rejects_unknown_method(self):
+        from repro.stream.transform import StreamingMarginalTransform
+
+        with pytest.raises(ValueError):
+            StreamingMarginalTransform(TARGET, method="spline")
+
+
+class TestStreamingQueue:
+    @given(
+        seed=st.integers(min_value=0, max_value=2**31),
+        chunk=st.integers(min_value=1, max_value=2500),
+        capacity=st.floats(min_value=0.5, max_value=30.0),
+        buffer=st.floats(min_value=0.0, max_value=200.0),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_bitwise_equal_to_batch(self, seed, chunk, capacity, buffer):
+        a = np.random.default_rng(seed).uniform(0, 25, size=2000)
+        batch = simulate_queue(a, capacity, buffer)
+        streamed = simulate_queue_stream(Stream.from_array(a, chunk), capacity, buffer)
+        assert streamed.total_bytes == batch.total_bytes
+        assert streamed.lost_bytes == batch.lost_bytes
+        assert streamed.final_backlog == batch.final_backlog
+        assert streamed.peak_backlog == batch.peak_backlog
+
+    def test_loss_series_bitwise_equal(self):
+        a = np.random.default_rng(4).uniform(0, 25, size=3000)
+        batch = simulate_queue(a, 9.0, 30.0, return_series=True)
+        streamed = simulate_queue_stream(
+            Stream.from_array(a, 271), 9.0, 30.0, record_loss=True
+        )
+        np.testing.assert_array_equal(streamed.loss_series, batch.loss_series)
+
+    def test_seed_trace_exact(self, small_series):
+        """Acceptance: the chunked queue reproduces the seed-trace stats."""
+        mean_rate = float(np.mean(small_series))
+        capacity = 1.1 * mean_rate
+        buffer = 5.0 * mean_rate
+        batch = simulate_queue(small_series, capacity, buffer)
+        assert batch.lost_bytes > 0  # a lossy operating point
+        streamed = simulate_queue_stream(
+            Stream.from_array(small_series, 4096), capacity, buffer
+        )
+        assert streamed == batch
+
+    def test_push_returns_chunk_loss(self):
+        queue = StreamingQueue(2.0, 5.0)
+        assert queue.push(np.array([10.0, 10.0])) == pytest.approx(11.0)
+        assert queue.push(np.array([0.0, 0.0])) == 0.0
+        assert queue.slots_seen == 4
+
+    def test_intermediate_results(self):
+        a = np.random.default_rng(5).uniform(0, 20, size=1000)
+        queue = StreamingQueue(8.0, 40.0)
+        queue.push(a[:400])
+        partial = queue.result()
+        full_partial = simulate_queue(a[:400], 8.0, 40.0)
+        assert partial.lost_bytes == full_partial.lost_bytes
+        queue.push(a[400:])
+        assert queue.result() == simulate_queue(a, 8.0, 40.0)
+
+    def test_rejects_negative_arrivals(self):
+        with pytest.raises(ValueError):
+            StreamingQueue(1.0, 1.0).push(np.array([-1.0]))
+
+
+class TestMultiplexLagged:
+    @given(
+        seed=st.integers(min_value=0, max_value=1000),
+        chunk=st.integers(min_value=1, max_value=900),
+        n_sources=st.integers(min_value=1, max_value=5),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_matches_batch_multiplex(self, seed, chunk, n_sources):
+        rng = np.random.default_rng(seed)
+        series = rng.uniform(0, 100, size=800)
+        lags = rng.integers(0, 800, size=n_sources)
+        want = multiplex_series(series, lags)
+        got = multiplex_lagged(Stream.from_array(series, chunk), lags).to_array()
+        np.testing.assert_allclose(got, want, rtol=0, atol=1e-9)
+
+    def test_paper_lag_constraints(self):
+        """The paper's min-separation lags, streamed vs batch."""
+        rng = np.random.default_rng(2)
+        series = rng.uniform(0, 100, size=12_000)
+        lags = random_lags(6, 12_000, min_separation=1000, rng=rng)
+        want = multiplex_series(series, lags)
+        got = multiplex_lagged(
+            Stream.from_array(series, 1024), lags, chunk_size=2048
+        ).to_array()
+        np.testing.assert_allclose(got, want, rtol=0, atol=1e-9)
+
+    def test_zero_lag_is_scaling(self):
+        series = np.arange(100.0)
+        got = multiplex_lagged(Stream.from_array(series, 13), [0, 0, 0]).to_array()
+        np.testing.assert_allclose(got, 3.0 * series)
+
+    def test_rejects_short_stream(self):
+        with pytest.raises(ValueError):
+            multiplex_lagged(Stream.from_array(np.arange(50.0), 10), [3], n=60).to_array()
+
+    def test_rejects_unknown_period(self):
+        gen = (np.zeros(4) for _ in range(2))
+        with pytest.raises(ValueError):
+            multiplex_lagged(Stream(gen), [1])
+
+
+class TestMergeAndParallel:
+    def test_merge_equals_sum(self):
+        rng = np.random.default_rng(3)
+        a, b = rng.uniform(0, 10, size=(2, 5000))
+        merged = merge_streams(
+            [Stream.from_array(a, 123), Stream.from_array(b, 777)], chunk_size=500
+        ).to_array()
+        np.testing.assert_allclose(merged, a + b)
+
+    def test_merge_rejects_length_mismatch(self):
+        with pytest.raises(ValueError):
+            merge_streams(
+                [Stream.from_array(np.zeros(10), 4), Stream.from_array(np.zeros(12), 4)]
+            )
+
+    def test_parallel_matches_sequential(self):
+        """Worker-pool aggregation == sum of per-source streams."""
+        sources = [BlockFGNSource(0.8, block_size=2048, overlap=64) for _ in range(3)]
+        agg = ParallelSources(sources).stream(
+            10_000, 2048, rng=np.random.default_rng(6)
+        ).to_array()
+        children = np.random.default_rng(6).spawn(3)
+        expected = np.zeros(10_000)
+        for child in children:
+            src = BlockFGNSource(0.8, block_size=2048, overlap=64)
+            expected += np.concatenate(list(src.chunks(10_000, 2048, rng=child)))
+        np.testing.assert_allclose(agg, expected)
+
+    def test_worker_count_does_not_change_values(self):
+        sources = [BlockFGNSource(0.7, block_size=1024, overlap=32) for _ in range(4)]
+        a = ParallelSources(sources, max_workers=1).stream(
+            4000, 1024, rng=np.random.default_rng(9)
+        ).to_array()
+        sources2 = [BlockFGNSource(0.7, block_size=1024, overlap=32) for _ in range(4)]
+        b = ParallelSources(sources2, max_workers=4).stream(
+            4000, 1024, rng=np.random.default_rng(9)
+        ).to_array()
+        np.testing.assert_array_equal(a, b)
+
+    def test_per_source_chunks(self):
+        sources = [ArraySource(np.arange(100.0)), ArraySource(np.arange(100.0))]
+        steps = list(ParallelSources(sources).chunks(100, 40, aggregate=False))
+        assert [len(step) for step in steps] == [2, 2, 2]
+        np.testing.assert_array_equal(steps[0][0], np.arange(40.0))
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            ParallelSources([])
+
+
+class TestOnlineMoments:
+    @given(chunk=st.integers(min_value=1, max_value=3000))
+    @settings(max_examples=15, deadline=None)
+    def test_matches_numpy(self, chunk):
+        x = np.random.default_rng(12).uniform(-5, 5, size=2500)
+        om = OnlineMoments()
+        Stream.from_array(x, chunk).drain(om)
+        assert om.count == x.size
+        assert om.mean == pytest.approx(np.mean(x), rel=1e-12)
+        assert om.variance == pytest.approx(np.var(x), rel=1e-10)
+        assert om.minimum == np.min(x)
+        assert om.maximum == np.max(x)
+        assert om.total == pytest.approx(np.sum(x), rel=1e-12)
+
+    def test_merge(self):
+        x = np.random.default_rng(13).standard_normal(4000)
+        left, right = OnlineMoments(), OnlineMoments()
+        left.update(x[:1500])
+        right.update(x[1500:])
+        left.merge(right)
+        assert left.count == 4000
+        assert left.variance == pytest.approx(np.var(x), rel=1e-10)
+
+    def test_empty_chunk_noop(self):
+        om = OnlineMoments()
+        om.update(np.zeros(0))
+        assert om.count == 0
+
+
+class TestStreamingVarianceTime:
+    def test_matches_batch_on_dyadic_grid(self, fgn_path):
+        from repro.analysis.hurst import variance_time
+
+        svt = StreamingVarianceTime()
+        Stream.from_array(fgn_path, 1777).drain(svt)
+        result = svt.hurst()
+        m_batch = [m for m in result.m_values[result.fit_mask]]
+        batch = variance_time(fgn_path, m_values=m_batch, fit_range=(min(m_batch), max(m_batch)))
+        assert result.hurst == pytest.approx(batch.hurst, abs=0.02)
+
+    def test_recovers_hurst(self, fgn_path):
+        svt = StreamingVarianceTime()
+        Stream.from_array(fgn_path, 4096).drain(svt)
+        assert 0.7 < svt.hurst().hurst < 0.9
+
+    def test_chunking_invariant(self, fgn_path):
+        a, b = StreamingVarianceTime(), StreamingVarianceTime()
+        Stream.from_array(fgn_path, 100).drain(a)
+        Stream.from_array(fgn_path, 9999).drain(b)
+        assert a.hurst().hurst == pytest.approx(b.hurst().hurst, rel=1e-9)
+
+    def test_needs_data(self):
+        with pytest.raises(ValueError):
+            StreamingVarianceTime().hurst()
+
+
+class TestBoundedMemory:
+    def test_two_million_transformed_samples_bounded(self):
+        """Acceptance (scaled for tier-1): the pipeline never
+        materializes the series.  2M float64 samples are 16 MB; the
+        traced allocation peak must stay far below that."""
+        n, chunk = 2_000_000, 65_536
+        src = BlockFGNSource(0.8, block_size=chunk, overlap=1024, backend="paxson")
+        stream = (
+            Stream.from_source(src, n, chunk, rng=np.random.default_rng(1))
+            .transform(TARGET, method="table")
+        )
+        moments = OnlineMoments()
+        queue = StreamingQueue(30_000.0, 500_000.0)
+        tracemalloc.start()
+        baseline, _ = tracemalloc.get_traced_memory()
+        stream.drain(moments, queue)
+        _, peak = tracemalloc.get_traced_memory()
+        tracemalloc.stop()
+        assert moments.count == n
+        assert queue.slots_seen == n
+        assert peak - baseline < 8 * n  # < half the full-array footprint
+        # And the output is real traffic: paper-like mean, some loss.
+        assert moments.mean == pytest.approx(27_791.0, rel=0.05)
