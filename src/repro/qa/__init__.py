@@ -1,0 +1,65 @@
+"""Statistical verification harness for the reproduction test suite.
+
+Three layers:
+
+- :mod:`repro.qa.stats` -- statistical assertions with explicit error
+  control: z-tests against Monte-Carlo estimators, goodness-of-fit
+  wrappers (KS / chi-square / Anderson-Darling), ACF and spectral-shape
+  agreement checks, Hurst-estimate confidence intervals, and
+  Bonferroni/Sidak helpers so a whole suite can be held to one
+  false-positive budget.
+- :mod:`repro.qa.golden` -- deterministic golden-stats digests: an
+  experiment result is summarized to a small JSON document (moments,
+  quantiles, fitted parameters) that is compared with tolerance-aware
+  diffing, so refactors are certified by digest equality instead of
+  re-deriving plots.
+- :mod:`repro.qa.plugin` -- the pytest plugin wiring it into the test
+  run: ``tier1``/``tier2``/``tier3`` markers, the ``seeded_rng``
+  fixture (rotated by ``--qa-seed``), ``statistical_retry``, the
+  ``golden`` fixture and ``--update-golden``.
+"""
+
+from repro.qa.golden import GoldenMismatch, GoldenStore, diff_digests, summarize
+from repro.qa.stats import (
+    CheckResult,
+    StatisticalCheckError,
+    acf_agreement_check,
+    anderson_darling_check,
+    bonferroni,
+    chi_square_check,
+    equivalence_check,
+    fgn_mean_std_error,
+    gph_agreement_check,
+    hurst_ci_check,
+    ks_check,
+    mc_agreement_check,
+    mc_mean_check,
+    mean_check,
+    require,
+    sidak,
+    z_test,
+)
+
+__all__ = [
+    "CheckResult",
+    "StatisticalCheckError",
+    "acf_agreement_check",
+    "anderson_darling_check",
+    "bonferroni",
+    "chi_square_check",
+    "equivalence_check",
+    "fgn_mean_std_error",
+    "gph_agreement_check",
+    "hurst_ci_check",
+    "ks_check",
+    "mc_agreement_check",
+    "mc_mean_check",
+    "mean_check",
+    "require",
+    "sidak",
+    "z_test",
+    "GoldenMismatch",
+    "GoldenStore",
+    "diff_digests",
+    "summarize",
+]

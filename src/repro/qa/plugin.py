@@ -1,0 +1,152 @@
+"""Pytest plugin: test tiers, seeded RNG rotation, golden digests.
+
+Loaded from ``tests/conftest.py`` via
+``pytest_plugins = ("repro.qa.plugin",)``.
+
+Tiers
+-----
+- ``tier1``: fast and deterministic; every unmarked test gets this
+  marker automatically.  The PR gate runs ``pytest -m tier1``.
+- ``tier2``: statistical -- seeded through :func:`seeded_rng`,
+  alpha-controlled via :mod:`repro.qa.stats`, expected to pass for
+  *any* base seed (the nightly job rotates ``--qa-seed``).
+- ``tier3``: long-run / 10M-sample scale checks; nightly only.
+
+Fixtures and options
+--------------------
+- ``seeded_rng``: a ``numpy`` Generator whose seed mixes the
+  ``--qa-seed`` base, the test's nodeid and the retry attempt, so
+  every test gets an independent stream and seed rotation is a single
+  command-line flag.
+- ``golden``: a :class:`repro.qa.golden.GoldenStore` rooted at
+  ``tests/golden/`` honouring ``--update-golden``.
+- ``statistical_retry`` marker: a failing test is re-run once on a
+  rotated seed before being reported as failed; retries are recorded
+  in the terminal summary, so a flaky-but-passing check remains
+  visible instead of silently absorbed.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import numpy as np
+import pytest
+from _pytest.runner import runtestprotocol
+
+TIER_MARKERS = ("tier1", "tier2", "tier3")
+
+_MARKER_DOC = {
+    "tier1": "tier1: fast, deterministic test (PR gate; default for unmarked tests)",
+    "tier2": "tier2: statistical test -- seeded via seeded_rng, alpha-controlled (nightly)",
+    "tier3": "tier3: long-run / multi-million-sample test (nightly)",
+    "statistical_retry": (
+        "statistical_retry: re-run once on a rotated seed before failing; "
+        "the retry is recorded in the terminal summary"
+    ),
+}
+
+
+def pytest_addoption(parser):
+    group = parser.getgroup("repro-qa", "repro statistical QA harness")
+    group.addoption(
+        "--update-golden",
+        action="store_true",
+        default=False,
+        help="regenerate golden digests under tests/golden/ instead of comparing",
+    )
+    group.addoption(
+        "--qa-seed",
+        action="store",
+        type=int,
+        default=0,
+        help="base seed mixed into every seeded_rng fixture (nightly CI rotates it)",
+    )
+
+
+def pytest_configure(config):
+    for line in _MARKER_DOC.values():
+        config.addinivalue_line("markers", line)
+    config._qa_retried_nodeids = []
+
+
+def pytest_collection_modifyitems(config, items):
+    """Unmarked tests are tier1 by definition (fast + deterministic)."""
+    for item in items:
+        if not any(item.get_closest_marker(tier) for tier in TIER_MARKERS):
+            item.add_marker(pytest.mark.tier1)
+
+
+def derive_seed(base_seed, nodeid, attempt=0):
+    """Stable 64-bit seed from (base seed, test identity, retry attempt).
+
+    Hash-mixed so that neighbouring base seeds or similarly named
+    tests still get statistically independent streams.
+    """
+    digest = hashlib.sha256(
+        f"{int(base_seed)}:{nodeid}:{int(attempt)}".encode()
+    ).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+@pytest.fixture
+def seeded_rng(request):
+    """Deterministic, per-test, rotation-aware ``numpy`` Generator.
+
+    The seed mixes ``--qa-seed``, the test nodeid and the
+    ``statistical_retry`` attempt number; tier-2 tests must pass for
+    any base seed at their declared alpha.
+    """
+    seed = derive_seed(
+        request.config.getoption("--qa-seed"),
+        request.node.nodeid,
+        getattr(request.node, "_qa_retry_attempt", 0),
+    )
+    return np.random.default_rng(seed)
+
+
+@pytest.fixture
+def golden(request):
+    """Golden-digest store rooted at ``tests/golden/``."""
+    from repro.qa.golden import GoldenStore
+
+    return GoldenStore(
+        root=request.config.rootpath / "tests" / "golden",
+        update=request.config.getoption("--update-golden"),
+    )
+
+
+def pytest_runtest_protocol(item, nextitem):
+    """One free re-run on a rotated seed for ``statistical_retry`` tests.
+
+    A tier-2 check with per-check alpha ``a`` fails a correct
+    implementation with probability ``a``; with one independent retry
+    that drops to ``a^2`` while a real regression still fails both
+    runs.  The retry is logged, never silent.
+    """
+    if item.get_closest_marker("statistical_retry") is None:
+        return None
+    item.ihook.pytest_runtest_logstart(nodeid=item.nodeid, location=item.location)
+    reports = runtestprotocol(item, nextitem=nextitem, log=False)
+    if any(r.failed for r in reports if r.when == "call"):
+        item._qa_retry_attempt = getattr(item, "_qa_retry_attempt", 0) + 1
+        item.config._qa_retried_nodeids.append(item.nodeid)
+        reports = runtestprotocol(item, nextitem=nextitem, log=False)
+        for report in reports:
+            report.user_properties.append(("qa_statistical_retry", item._qa_retry_attempt))
+    for report in reports:
+        item.ihook.pytest_runtest_logreport(report=report)
+    item.ihook.pytest_runtest_logfinish(nodeid=item.nodeid, location=item.location)
+    return True
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    retried = getattr(config, "_qa_retried_nodeids", [])
+    if retried:
+        terminalreporter.section("repro.qa statistical retries")
+        for nodeid in retried:
+            terminalreporter.line(f"retried on rotated seed: {nodeid}")
+        terminalreporter.line(
+            f"{len(retried)} statistical retr{'y' if len(retried) == 1 else 'ies'} "
+            "-- investigate if the same test retries across many seeds"
+        )

@@ -13,6 +13,9 @@ import pytest
 from repro.distributions.hybrid import GammaParetoHybrid
 from repro.experiments.data import reference_trace
 
+# Tier markers, seeded_rng/golden fixtures, --qa-seed / --update-golden.
+pytest_plugins = ("repro.qa.plugin",)
+
 
 @pytest.fixture
 def rng():

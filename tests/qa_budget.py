@@ -1,0 +1,16 @@
+"""Suite-wide false-positive budget for tier-2 statistical tests.
+
+Every tier-2 check draws its alpha from one Bonferroni budget: with at
+most ``MAX_STATISTICAL_CHECKS`` checks in the tier-2/tier-3 run, the
+probability that a *correct* implementation fails any check on a given
+seed is at most ``SUITE_ALPHA`` -- and the ``statistical_retry``
+marker squares the per-check rate on top of that.  When adding tier-2
+checks, raise ``MAX_STATISTICAL_CHECKS`` rather than minting private
+alphas (see docs/testing.md).
+"""
+
+from repro.qa.stats import bonferroni
+
+SUITE_ALPHA = 0.01
+MAX_STATISTICAL_CHECKS = 64
+CHECK_ALPHA = bonferroni(SUITE_ALPHA, MAX_STATISTICAL_CHECKS)

@@ -182,3 +182,71 @@ class TestStreamCommand:
     def test_rejects_bad_samples(self):
         with pytest.raises(SystemExit):
             main(["stream", "--samples", "0"])
+
+
+class TestStreamCommandRegressions:
+    """Regression coverage for `repro stream` plumbing: the SIGPIPE
+    quiet-exit path and the --stats accumulator wiring."""
+
+    def test_sigpipe_exits_quietly(self, tmp_path):
+        """`repro stream ... | head` must end with exit code 0 and no
+        traceback: the writer sees BrokenPipeError mid-stream (the
+        emitted text far exceeds the pipe buffer) and must swallow it,
+        including the interpreter's exit-time stdout flush."""
+        import os
+        import subprocess
+        import sys
+
+        env = dict(os.environ)
+        src_dir = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
+        env["PYTHONPATH"] = src_dir + os.pathsep + env.get("PYTHONPATH", "")
+        pipeline = (
+            f"{sys.executable} -m repro stream --samples 300000 --chunk 8192 "
+            "--backend paxson --block-size 8192 --overlap 256 --seed 0 "
+            "| head -n 5"
+        )
+        proc = subprocess.run(
+            ["bash", "-c", f"set -o pipefail; {pipeline}"],
+            capture_output=True, text=True, timeout=120, env=env,
+        )
+        assert proc.returncode == 0, proc.stderr
+        assert len(proc.stdout.strip().split("\n")) == 5
+        assert "Traceback" not in proc.stderr
+        assert "BrokenPipeError" not in proc.stderr
+
+    def test_stats_match_online_moments_pass(self, tmp_path, capsys):
+        """--stats must report exactly what an OnlineMoments pass over
+        the written samples reports (same accumulator, same data)."""
+        from repro.stream import OnlineMoments
+
+        out = tmp_path / "stats.npy"
+        code = main([
+            "stream", "--samples", "20000", "--chunk", "4096",
+            "--backend", "paxson", "--block-size", "4096", "--overlap", "256",
+            "--seed", "42", "--out", str(out), "--stats",
+        ])
+        assert code == 0
+        x = np.load(out)
+        om = OnlineMoments()
+        om.update(x)
+        printed = capsys.readouterr().out
+        assert om.count == 20_000
+        expected = (
+            f"mean {om.mean:.1f}  std {om.std:.1f}  "
+            f"min {om.minimum:.1f}  max {om.maximum:.1f}"
+        )
+        assert expected in printed
+        assert "streamed 20000 samples" in printed
+
+    def test_stats_hurst_line_present(self, tmp_path, capsys):
+        """The variance-time Hurst line appears whenever enough samples
+        streamed for the dyadic fit to be defined."""
+        out = tmp_path / "h.npy"
+        code = main([
+            "stream", "--samples", "30000", "--chunk", "4096",
+            "--backend", "paxson", "--block-size", "8192", "--overlap", "256",
+            "--seed", "7", "--out", str(out), "--stats",
+        ])
+        assert code == 0
+        printed = capsys.readouterr().out
+        assert "variance-time Hurst estimate:" in printed

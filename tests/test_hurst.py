@@ -1,4 +1,12 @@
-"""Tests for the Hurst estimators (variance-time, R/S, Whittle)."""
+"""Tests for the Hurst estimators (variance-time, R/S, Whittle).
+
+Estimator-recovery claims are certified statistically: Whittle-based
+checks use the estimator's analytic standard error via
+``repro.qa.stats``; variance-time and R/S (no analytic SE) are
+certified in the tier-2 Monte-Carlo equivalence class at the bottom,
+where the tolerance is an explicit equivalence margin with a
+controlled error rate instead of an ad-hoc ``approx`` band.
+"""
 
 import numpy as np
 import pytest
@@ -14,6 +22,8 @@ from repro.analysis.hurst import (
     whittle_aggregated,
 )
 from repro.core.daviesharte import DaviesHarteGenerator
+from repro.qa import stats as qa
+from tests.qa_budget import CHECK_ALPHA
 
 
 @pytest.fixture(scope="module")
@@ -27,16 +37,10 @@ def fgn_low():
 
 
 class TestVarianceTime:
-    def test_iid_gives_half(self, white_noise):
+    def test_beta_hurst_relation(self, white_noise):
+        """H = 1 - beta/2 by construction, whatever the data."""
         est = variance_time(white_noise)
-        assert est.hurst == pytest.approx(0.5, abs=0.04)
-        assert est.beta == pytest.approx(1.0, abs=0.08)
-
-    def test_fgn_08(self, fgn_path):
-        assert variance_time(fgn_path).hurst == pytest.approx(0.8, abs=0.06)
-
-    def test_fgn_06(self, fgn_low):
-        assert variance_time(fgn_low).hurst == pytest.approx(0.6, abs=0.06)
+        assert est.hurst == 1.0 - est.beta / 2.0
 
     def test_result_arrays_consistent(self, fgn_path):
         est = variance_time(fgn_path)
@@ -82,13 +86,6 @@ class TestRSStatistic:
 
 
 class TestRSPox:
-    def test_iid_gives_half(self, white_noise):
-        est = rs_pox(white_noise)
-        assert est.hurst == pytest.approx(0.55, abs=0.08)  # small-n R/S bias is upward
-
-    def test_fgn_08(self, fgn_path):
-        assert rs_pox(fgn_path).hurst == pytest.approx(0.8, abs=0.08)
-
     def test_pox_points_populated(self, fgn_path):
         est = rs_pox(fgn_path, n_partitions=8, n_lag_points=20)
         assert est.lags.size == est.rs_values.size
@@ -117,11 +114,12 @@ class TestRSPox:
 
 class TestWhittle:
     def test_farima_exact_model(self):
+        """Whittle on its exact model: the analytic CI must cover the
+        nominal H (z-test with SE sqrt(6)/(pi sqrt(n)), no magic band)."""
         from repro.core.hosking import HoskingGenerator
 
         x = HoskingGenerator(hurst=0.8).generate(8192, rng=np.random.default_rng(5))
-        est = whittle(x, normalize=None)
-        assert est.hurst == pytest.approx(0.8, abs=0.05)
+        qa.require(qa.hurst_ci_check(x, 0.8, alpha=1e-3, name="whittle on exact fARIMA"))
 
     def test_confidence_interval_width(self):
         """The asymptotic CI halfwidth is 1.96 sqrt(6)/(pi sqrt(n)); at
@@ -136,8 +134,8 @@ class TestWhittle:
         assert est.ci_low < est.hurst < est.ci_high
 
     def test_white_noise_gives_half(self, white_noise):
-        est = whittle(white_noise, normalize=None)
-        assert est.hurst == pytest.approx(0.5, abs=0.03)
+        """White noise is fARIMA(0, 0, 0); H = 1/2 sits in the CI."""
+        qa.require(qa.hurst_ci_check(white_noise, 0.5, alpha=1e-3, name="whittle on white noise"))
 
     def test_normal_scores_robust_to_marginal(self, fgn_path):
         """Rank-Gaussianization: distorting the marginal must not move
@@ -200,3 +198,52 @@ class TestHurstSummary:
         summary = hurst_summary(small_series)
         for key in ("variance_time", "rs", "rs_aggregated"):
             assert 0.7 < summary[key] < 0.95, key
+
+
+@pytest.mark.tier2
+@pytest.mark.statistical_retry
+class TestEstimatorRecovery:
+    """Monte-Carlo equivalence certification of the heuristic estimators.
+
+    Variance-time and R/S have no analytic standard error, so their
+    recovery of H is certified by TOST over independent paths: the
+    margin states the accepted estimator bias+noise band explicitly
+    (both estimators carry a known finite-sample bias of up to ~0.04
+    at n = 2^14) and alpha bounds the rate of false certification.
+    Seeded through ``seeded_rng`` -- must pass for any ``--qa-seed``.
+    """
+
+    R = 6
+    N = 2**14
+
+    def _paths(self, rng, hurst):
+        if hurst == 0.5:
+            return [rng.standard_normal(self.N) for _ in range(self.R)]
+        gen = DaviesHarteGenerator(hurst)
+        return [gen.generate(self.N, rng=rng) for _ in range(self.R)]
+
+    @pytest.mark.parametrize(
+        "hurst,margin", [(0.5, 0.055), (0.6, 0.065), (0.8, 0.085)]
+    )
+    def test_variance_time_recovers(self, seeded_rng, hurst, margin):
+        values = [variance_time(p).hurst for p in self._paths(seeded_rng, hurst)]
+        qa.require(
+            qa.equivalence_check(
+                values, hurst, margin=margin, alpha=CHECK_ALPHA,
+                name=f"variance-time recovers H={hurst}",
+            )
+        )
+
+    @pytest.mark.parametrize(
+        "hurst,margin", [(0.5, 0.095), (0.8, 0.085)]
+    )
+    def test_rs_pox_recovers(self, seeded_rng, hurst, margin):
+        """R/S carries the classical upward small-n bias at H = 1/2
+        (~+0.04); the margin covers it explicitly."""
+        values = [rs_pox(p).hurst for p in self._paths(seeded_rng, hurst)]
+        qa.require(
+            qa.equivalence_check(
+                values, hurst, margin=margin, alpha=CHECK_ALPHA,
+                name=f"R/S pox recovers H={hurst}",
+            )
+        )

@@ -1,0 +1,116 @@
+"""Tier-2 cross-backend equivalence of the three fGn/fARIMA backends.
+
+The model zoo offers three Gaussian LRD generators -- Hosking
+(exact fARIMA(0, d, 0)), Davies-Harte (exact fGn) and Paxson
+(approximate FFT fGn).  Synthetic traffic is only trustworthy if they
+agree on the statistics the paper quotes, so for H in {0.6, 0.8, 0.9}:
+
+- Davies-Harte and Paxson share an fGn autocorrelation function
+  (per-lag Monte-Carlo Welch tests, Sidak-corrected);
+- all three share the low-frequency periodogram slope (the GPH ``d``);
+- after aggregation -- which filters the short-range structure where
+  fARIMA and fGn legitimately differ -- Hosking agrees with
+  Davies-Harte in ACF too (the paper's Section 3.2.3 argument).
+
+Every check draws from the suite-wide alpha budget and the tests are
+seeded through ``seeded_rng``, so they must pass for any ``--qa-seed``.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.correlation import aggregate
+from repro.core.daviesharte import DaviesHarteGenerator
+from repro.core.hosking import HoskingGenerator
+from repro.core.paxson import PaxsonGenerator
+from repro.qa import stats as qa
+from tests.qa_budget import CHECK_ALPHA
+
+HURSTS = (0.6, 0.8, 0.9)
+N_SAMPLES = 4096
+N_PATHS = 6
+
+pytestmark = [pytest.mark.tier2, pytest.mark.statistical_retry]
+
+
+def _paths(generator, rng, n_paths=N_PATHS, n=N_SAMPLES):
+    return [generator.generate(n, rng=rng) for _ in range(n_paths)]
+
+
+class TestFGNBackendsShareACF:
+    @pytest.mark.parametrize("hurst", HURSTS)
+    def test_davies_harte_vs_paxson(self, seeded_rng, hurst):
+        exact = _paths(DaviesHarteGenerator(hurst), seeded_rng)
+        approx = _paths(PaxsonGenerator(hurst), seeded_rng)
+        qa.require(
+            qa.acf_agreement_check(
+                exact,
+                approx,
+                max_lag=10,
+                alpha=CHECK_ALPHA,
+                name=f"fGn ACF davies-harte vs paxson (H={hurst})",
+            )
+        )
+
+
+class TestAllBackendsShareSpectralSlope:
+    @pytest.mark.parametrize("hurst", HURSTS)
+    def test_pairwise_gph_agreement(self, seeded_rng, hurst):
+        backends = {
+            "hosking": _paths(HoskingGenerator(hurst=hurst), seeded_rng),
+            "davies-harte": _paths(DaviesHarteGenerator(hurst), seeded_rng),
+            "paxson": _paths(PaxsonGenerator(hurst), seeded_rng),
+        }
+        names = sorted(backends)
+        pairs = [(a, b) for i, a in enumerate(names) for b in names[i + 1 :]]
+        per_pair_alpha = qa.bonferroni(CHECK_ALPHA, len(pairs))
+        qa.require(
+            *(
+                qa.gph_agreement_check(
+                    backends[a],
+                    backends[b],
+                    alpha=per_pair_alpha,
+                    name=f"periodogram slope {a} vs {b} (H={hurst})",
+                )
+                for a, b in pairs
+            )
+        )
+
+
+class TestAggregationReconcilesFarimaWithFGN:
+    @pytest.mark.parametrize("hurst", HURSTS)
+    def test_hosking_vs_davies_harte_aggregated(self, seeded_rng, hurst):
+        """fARIMA and fGn differ at short lags by design; their m=16
+        aggregates are both near-fGn of the same H and must share an
+        ACF."""
+        m = 16
+        farima = [
+            aggregate(p, m)
+            for p in _paths(HoskingGenerator(hurst=hurst), seeded_rng, n=N_SAMPLES * 4)
+        ]
+        fgn = [
+            aggregate(p, m)
+            for p in _paths(DaviesHarteGenerator(hurst), seeded_rng, n=N_SAMPLES * 4)
+        ]
+        qa.require(
+            qa.acf_agreement_check(
+                farima,
+                fgn,
+                max_lag=5,
+                alpha=CHECK_ALPHA,
+                name=f"aggregated ACF hosking vs davies-harte (H={hurst})",
+            )
+        )
+
+
+class TestBackendsHitNominalHurst:
+    @pytest.mark.parametrize("hurst", HURSTS)
+    def test_whittle_on_exact_farima(self, seeded_rng, hurst):
+        """Whittle's model matches Hosking exactly, so its analytic CI
+        must cover the nominal H -- no Monte-Carlo needed."""
+        x = HoskingGenerator(hurst=hurst).generate(2**14, rng=seeded_rng)
+        qa.require(
+            qa.hurst_ci_check(
+                x, hurst, alpha=CHECK_ALPHA, name=f"whittle CI covers H={hurst}"
+            )
+        )

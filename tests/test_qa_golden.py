@@ -1,0 +1,164 @@
+"""Unit tests for the golden-digest machinery (repro.qa.golden)."""
+
+import dataclasses
+import json
+
+import numpy as np
+import pytest
+
+from repro.qa.golden import (
+    DIGEST_VERSION,
+    GoldenMismatch,
+    GoldenStore,
+    diff_digests,
+    summarize,
+)
+
+
+@dataclasses.dataclass(frozen=True)
+class _Point:
+    x: float
+    label: str
+
+
+class TestSummarize:
+    def test_scalars_pass_through(self):
+        assert summarize(3) == 3
+        assert summarize(2.5) == 2.5
+        assert summarize("name") == "name"
+        assert summarize(True) is True
+        assert summarize(None) is None
+
+    def test_numpy_scalars_become_python(self):
+        assert summarize(np.float64(1.5)) == 1.5
+        assert isinstance(summarize(np.int32(4)), int)
+
+    def test_nonfinite_floats_stringified(self):
+        assert summarize(float("inf")) == "inf"
+        assert summarize(float("nan")) == "nan"
+
+    def test_array_summary(self):
+        digest = summarize(np.arange(100.0))
+        assert digest["__array__"] is True
+        assert digest["shape"] == [100]
+        assert digest["mean"] == pytest.approx(49.5)
+        assert digest["quantiles"]["0.5"] == pytest.approx(49.5)
+        assert digest["n_nonfinite"] == 0
+
+    def test_array_with_nans_counted(self):
+        x = np.array([1.0, np.nan, 3.0, np.inf])
+        digest = summarize(x)
+        assert digest["n_nonfinite"] == 2
+        assert digest["mean"] == pytest.approx(2.0)
+
+    def test_dataclass_fields(self):
+        digest = summarize(_Point(1.5, "a"))
+        assert digest["__dataclass__"] == "_Point"
+        assert digest["x"] == 1.5
+        assert digest["label"] == "a"
+
+    def test_tuple_keys_stringified(self):
+        digest = summarize({(1, "overall", 0.0): 2.0})
+        assert digest == {"(1, 'overall', 0.0)": 2.0}
+
+    def test_long_numeric_list_summarized(self):
+        digest = summarize(list(range(100)))
+        assert digest["__array__"] is True
+
+    def test_short_list_kept(self):
+        assert summarize([1, 2, 3]) == [1, 2, 3]
+
+    def test_unknown_object_records_type_only(self):
+        class Opaque:
+            pass
+
+        assert summarize(Opaque()) == {"__type__": "Opaque"}
+
+    def test_digest_is_json_serializable(self):
+        nested = {
+            "result": _Point(2.0, "b"),
+            "series": np.linspace(0, 1, 50),
+            "flags": (True, None),
+        }
+        json.dumps(summarize(nested))
+
+
+class TestDiffDigests:
+    def test_equal_digests_no_lines(self):
+        digest = summarize({"a": np.arange(10.0), "b": 2})
+        assert diff_digests(digest, digest) == []
+
+    def test_tolerance_absorbs_tiny_drift(self):
+        assert diff_digests({"x": 1.0}, {"x": 1.0 + 1e-9}) == []
+
+    def test_reports_real_drift_with_path(self):
+        lines = diff_digests({"x": {"y": 1.0}}, {"x": {"y": 2.0}})
+        assert len(lines) == 1
+        assert "$.x.y" in lines[0]
+
+    def test_rtol_honoured(self):
+        assert diff_digests({"x": 100.0}, {"x": 100.4}, rtol=0.01) == []
+        assert diff_digests({"x": 100.0}, {"x": 102.0}, rtol=0.01) != []
+
+    def test_missing_and_extra_keys(self):
+        lines = diff_digests({"a": 1, "b": 2}, {"b": 2, "c": 3})
+        assert any("$.a" in line and "missing" in line for line in lines)
+        assert any("$.c" in line and "not in golden" in line for line in lines)
+
+    def test_bool_not_confused_with_int(self):
+        assert diff_digests({"x": True}, {"x": 1}) != []
+
+    def test_length_mismatch(self):
+        assert diff_digests([1, 2], [1, 2, 3]) != []
+
+    def test_type_mismatch(self):
+        assert diff_digests({"x": [1]}, {"x": "1"}) != []
+
+    def test_nan_equals_nan(self):
+        assert diff_digests({"x": float("nan")}, {"x": float("nan")}) == []
+
+
+class TestGoldenStore:
+    def test_missing_digest_mentions_update_flag(self, tmp_path):
+        store = GoldenStore(tmp_path)
+        with pytest.raises(GoldenMismatch, match="--update-golden"):
+            store.check("absent", {"v": 1})
+
+    def test_update_then_check_roundtrip(self, tmp_path):
+        result = {"v": 1.5, "arr": np.arange(20.0)}
+        GoldenStore(tmp_path, update=True).check("exp", result)
+        GoldenStore(tmp_path).check("exp", result)  # no raise
+
+    def test_drift_raises_with_field_diff(self, tmp_path):
+        GoldenStore(tmp_path, update=True).check("exp", {"v": 1.0})
+        with pytest.raises(GoldenMismatch, match=r"\$\.v"):
+            GoldenStore(tmp_path).check("exp", {"v": 2.0})
+
+    def test_written_file_is_stable(self, tmp_path):
+        result = {"b": 2.0, "a": np.linspace(0, 1, 30)}
+        store = GoldenStore(tmp_path, update=True)
+        store.check("exp", result)
+        first = store.path("exp").read_bytes()
+        store.check("exp", result)
+        assert store.path("exp").read_bytes() == first
+
+    def test_schema_version_checked(self, tmp_path):
+        store = GoldenStore(tmp_path, update=True)
+        store.check("exp", {"v": 1})
+        doc = json.loads(store.path("exp").read_text())
+        doc["version"] = DIGEST_VERSION + 1
+        store.path("exp").write_text(json.dumps(doc))
+        with pytest.raises(GoldenMismatch, match="schema version"):
+            GoldenStore(tmp_path).check("exp", {"v": 1})
+
+    def test_per_check_tolerance_override(self, tmp_path):
+        GoldenStore(tmp_path, update=True).check("exp", {"v": 100.0})
+        GoldenStore(tmp_path).check("exp", {"v": 100.5}, rtol=0.01)
+        with pytest.raises(GoldenMismatch):
+            GoldenStore(tmp_path).check("exp", {"v": 100.5}, rtol=1e-6)
+
+    def test_updated_names_recorded(self, tmp_path):
+        store = GoldenStore(tmp_path, update=True)
+        store.check("one", {"v": 1})
+        store.check("two", {"v": 2})
+        assert store.updated == ["one", "two"]

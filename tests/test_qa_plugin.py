@@ -1,0 +1,80 @@
+"""Tests for the repro.qa pytest plugin (tiers, seeding, retry)."""
+
+import numpy as np
+import pytest
+
+from repro.qa.plugin import TIER_MARKERS, derive_seed
+
+
+class TestDeriveSeed:
+    def test_stable(self):
+        assert derive_seed(0, "tests/test_x.py::test_a") == derive_seed(
+            0, "tests/test_x.py::test_a"
+        )
+
+    def test_distinct_across_base_seeds(self):
+        seeds = {derive_seed(k, "tests/test_x.py::test_a") for k in range(5)}
+        assert len(seeds) == 5
+
+    def test_distinct_across_tests(self):
+        assert derive_seed(0, "test_a") != derive_seed(0, "test_b")
+
+    def test_distinct_across_attempts(self):
+        """The statistical_retry re-run must see fresh randomness."""
+        assert derive_seed(0, "test_a", attempt=0) != derive_seed(0, "test_a", attempt=1)
+
+    def test_fits_in_64_bits(self):
+        assert 0 <= derive_seed(123456, "x" * 300) < 2**64
+
+
+class TestFixtures:
+    def test_seeded_rng_is_generator(self, seeded_rng):
+        assert isinstance(seeded_rng, np.random.Generator)
+        seeded_rng.standard_normal(3)  # usable
+
+    def test_seeded_rng_independent_per_test(self, seeded_rng):
+        """A different nodeid gives a different stream; this test and
+        the one above must not share their first draw (collision
+        probability ~ 2^-64)."""
+        first = float(
+            np.random.default_rng(
+                derive_seed(0, "tests/test_qa_plugin.py::TestFixtures::test_seeded_rng_is_generator")
+            ).standard_normal()
+        )
+        other = float(
+            np.random.default_rng(
+                derive_seed(0, "tests/test_qa_plugin.py::TestFixtures::test_other")
+            ).standard_normal()
+        )
+        assert first != other
+
+    def test_golden_fixture_rooted_at_tests(self, golden):
+        assert golden.root.name == "golden"
+        assert golden.root.parent.name == "tests"
+
+
+class TestTierDefaulting:
+    def test_unmarked_test_becomes_tier1(self, request):
+        """This test carries no explicit tier marker, so the plugin
+        must have stamped it tier1 at collection."""
+        assert request.node.get_closest_marker("tier1") is not None
+
+    @pytest.mark.tier2
+    def test_explicit_marker_wins(self, request):
+        assert request.node.get_closest_marker("tier2") is not None
+        assert request.node.get_closest_marker("tier1") is None
+
+    def test_tier_names(self):
+        assert TIER_MARKERS == ("tier1", "tier2", "tier3")
+
+
+_retry_attempts = []
+
+
+@pytest.mark.statistical_retry
+def test_statistical_retry_reruns_once():
+    """End-to-end retry check: fail deliberately on the first attempt;
+    the plugin must re-run and the second attempt passes.  If the
+    retry machinery breaks, this test fails outright."""
+    _retry_attempts.append(1)
+    assert len(_retry_attempts) >= 2, "first attempt fails by design; plugin retries"

@@ -1,0 +1,258 @@
+"""Unit tests for the statistical-assertion library (repro.qa.stats).
+
+Mostly tier-1: fixed seeds, checking the machinery itself -- p-value
+calibration, alpha arithmetic, failure messages -- rather than any
+generator.  The checks' behaviour under the null is validated by
+Monte-Carlo with deterministic seeds.
+"""
+
+import numpy as np
+import pytest
+
+from repro.distributions.gamma import Gamma
+from repro.distributions.normal import Normal
+from repro.qa import stats as qa
+from repro.qa.stats import StatisticalCheckError
+
+
+class TestAlphaHelpers:
+    def test_bonferroni(self):
+        assert qa.bonferroni(0.05, 10) == pytest.approx(0.005)
+
+    def test_sidak_bounds(self):
+        """Sidak is sharper than Bonferroni but never exceeds alpha."""
+        for m in (1, 2, 10, 100):
+            s = qa.sidak(0.05, m)
+            assert qa.bonferroni(0.05, m) <= s <= 0.05 + 1e-12
+
+    def test_sidak_family_rate_exact(self):
+        """m independent checks at the Sidak level give exactly alpha."""
+        s = qa.sidak(0.01, 7)
+        assert 1.0 - (1.0 - s) ** 7 == pytest.approx(0.01)
+
+    def test_rejects_bad_alpha(self):
+        with pytest.raises(ValueError):
+            qa.bonferroni(0.0, 5)
+        with pytest.raises(ValueError):
+            qa.sidak(1.5, 5)
+
+
+class TestZTest:
+    def test_exact_match_passes(self):
+        result = qa.z_test(1.0, 1.0, 0.1, alpha=0.05)
+        assert result.passed
+        assert result.p_value == pytest.approx(1.0)
+
+    def test_ten_sigma_fails(self):
+        result = qa.z_test(2.0, 1.0, 0.1, alpha=0.05)
+        assert not result.passed
+        assert result.statistic == pytest.approx(10.0)
+
+    def test_p_value_formula(self):
+        """z = 1.96 must give p ~ 0.05 (two-sided)."""
+        result = qa.z_test(1.96, 0.0, 1.0, alpha=0.01)
+        assert result.p_value == pytest.approx(0.05, abs=0.001)
+        assert result.passed  # 0.05 >= alpha=0.01
+
+    def test_calibrated_under_null(self):
+        """False-positive rate ~ alpha for Normal estimates."""
+        rng = np.random.default_rng(17)
+        rejections = sum(
+            not qa.z_test(rng.normal(0.0, 1.0), 0.0, 1.0, alpha=0.1).passed
+            for _ in range(2000)
+        )
+        assert rejections / 2000 == pytest.approx(0.1, abs=0.025)
+
+    def test_rejects_bad_se(self):
+        with pytest.raises(ValueError):
+            qa.z_test(1.0, 1.0, 0.0, alpha=0.05)
+
+
+class TestRequire:
+    def test_passes_through(self):
+        result = qa.z_test(0.0, 0.0, 1.0, alpha=0.05)
+        assert qa.require(result) is result
+
+    def test_raises_with_all_failures(self):
+        good = qa.z_test(0.0, 0.0, 1.0, alpha=0.05, name="good")
+        bad1 = qa.z_test(9.0, 0.0, 1.0, alpha=0.05, name="first-bad")
+        bad2 = qa.z_test(-9.0, 0.0, 1.0, alpha=0.05, name="second-bad")
+        with pytest.raises(StatisticalCheckError) as err:
+            qa.require(good, bad1, bad2)
+        assert "first-bad" in str(err.value)
+        assert "second-bad" in str(err.value)
+
+    def test_result_is_truthy(self):
+        assert qa.z_test(0.0, 0.0, 1.0, alpha=0.05)
+        assert not qa.z_test(9.0, 0.0, 1.0, alpha=0.05)
+
+
+class TestMeanCheck:
+    def test_array_input(self):
+        x = np.random.default_rng(3).normal(5.0, 2.0, size=4000)
+        assert qa.mean_check(x, 5.0, alpha=0.001)
+
+    def test_online_moments_input(self):
+        from repro.stream import OnlineMoments
+
+        om = OnlineMoments()
+        om.update(np.random.default_rng(4).normal(5.0, 2.0, size=4000))
+        assert qa.mean_check(om, 5.0, alpha=0.001)
+
+    def test_detects_shift(self):
+        x = np.random.default_rng(5).normal(5.0, 1.0, size=4000)
+        assert not qa.mean_check(x, 5.2, alpha=0.001)
+
+    def test_lrd_se_wider_than_iid(self):
+        """fGn mean SE must dominate the naive iid SE for H > 1/2."""
+        se_lrd = qa.fgn_mean_std_error(10_000, 0.8)
+        assert se_lrd > 1.0 / np.sqrt(10_000)
+        assert se_lrd == pytest.approx(10_000 ** (-0.2))
+
+    def test_fgn_se_rejects_bad_args(self):
+        with pytest.raises(ValueError):
+            qa.fgn_mean_std_error(100, 1.0)
+        with pytest.raises(ValueError):
+            qa.fgn_mean_std_error(100, 0.8, variance=0.0)
+
+
+class TestMonteCarloChecks:
+    def test_mc_mean_pass_and_fail(self):
+        rng = np.random.default_rng(6)
+        values = rng.normal(0.8, 0.01, size=30)
+        assert qa.mc_mean_check(values, 0.8, alpha=0.001)
+        assert not qa.mc_mean_check(values, 0.9, alpha=0.001)
+
+    def test_mc_agreement(self):
+        rng = np.random.default_rng(7)
+        a = rng.normal(1.0, 0.05, size=20)
+        b = rng.normal(1.0, 0.05, size=20)
+        c = rng.normal(2.0, 0.05, size=20)
+        assert qa.mc_agreement_check(a, b, alpha=0.001)
+        assert not qa.mc_agreement_check(a, c, alpha=0.001)
+
+    def test_needs_replications(self):
+        with pytest.raises(ValueError):
+            qa.mc_mean_check([1.0, 2.0], 1.5, alpha=0.05)
+
+    def test_constant_replications_rejected(self):
+        with pytest.raises(ValueError):
+            qa.mc_mean_check([1.0, 1.0, 1.0], 1.0, alpha=0.05)
+
+
+class TestEquivalenceCheck:
+    def test_certifies_within_margin(self):
+        rng = np.random.default_rng(8)
+        values = rng.normal(0.8, 0.01, size=25)
+        assert qa.equivalence_check(values, 0.8, margin=0.05, alpha=0.01)
+
+    def test_refuses_outside_margin(self):
+        rng = np.random.default_rng(9)
+        values = rng.normal(0.9, 0.01, size=25)
+        assert not qa.equivalence_check(values, 0.8, margin=0.05, alpha=0.01)
+
+    def test_refuses_when_se_too_wide(self):
+        """A noisy estimate cannot be certified even if centered."""
+        rng = np.random.default_rng(10)
+        values = rng.normal(0.8, 0.5, size=5)
+        assert not qa.equivalence_check(values, 0.8, margin=0.02, alpha=0.01)
+
+    def test_rejects_bad_margin(self):
+        with pytest.raises(ValueError):
+            qa.equivalence_check([1.0, 2.0, 3.0], 2.0, margin=0.0, alpha=0.05)
+
+
+class TestGoodnessOfFit:
+    def test_ks_accepts_true_model(self):
+        x = np.random.default_rng(11).normal(2.0, 3.0, size=2000)
+        assert qa.ks_check(x, Normal(2.0, 3.0), alpha=0.01)
+
+    def test_ks_rejects_wrong_model(self):
+        x = np.random.default_rng(12).normal(2.0, 3.0, size=2000)
+        assert not qa.ks_check(x, Normal(0.0, 3.0), alpha=0.01)
+
+    def test_chi_square_accepts_true_model(self):
+        x = np.random.default_rng(13).normal(0.0, 1.0, size=4000)
+        assert qa.chi_square_check(x, Normal(0.0, 1.0), alpha=0.01, n_bins=40)
+
+    def test_chi_square_rejects_wrong_model(self):
+        rng = np.random.default_rng(14)
+        x = Gamma(2.0, 1.0).sample(4000, rng)
+        assert not qa.chi_square_check(x, Normal(2.0, np.sqrt(2.0)), alpha=0.01, n_bins=40)
+
+    def test_anderson_darling_accepts_true_model(self):
+        x = np.random.default_rng(15).normal(0.0, 1.0, size=2000)
+        assert qa.anderson_darling_check(x, Normal(0.0, 1.0), alpha=0.01)
+
+    def test_anderson_darling_tail_sensitive(self):
+        """AD must flag a model whose tail is wrong even when the
+        bulk matches (Student-t style contamination)."""
+        rng = np.random.default_rng(16)
+        x = rng.standard_t(df=3, size=4000)
+        assert not qa.anderson_darling_check(x, Normal(0.0, np.std(x)), alpha=0.01)
+
+    def test_ad_p_matches_case0_critical_values(self):
+        """Asymptotic critical values for the fully specified null
+        (D'Agostino & Stephens, Table 4.2): A^2 = 2.492 at 5%,
+        3.857 at 1%."""
+        from repro.qa.stats import _anderson_darling_p
+
+        assert _anderson_darling_p(2.492) == pytest.approx(0.05, abs=0.004)
+        assert _anderson_darling_p(3.857) == pytest.approx(0.01, abs=0.002)
+        assert _anderson_darling_p(0.0) == 1.0
+
+    def test_ks_calibrated_under_null(self):
+        """Rejection rate ~ alpha over many null replications."""
+        rng = np.random.default_rng(18)
+        model = Normal(0.0, 1.0)
+        rejections = sum(
+            not qa.ks_check(rng.normal(size=300), model, alpha=0.1).passed
+            for _ in range(300)
+        )
+        assert rejections / 300 == pytest.approx(0.1, abs=0.05)
+
+
+class TestDependenceChecks:
+    def test_acf_same_generator_agrees(self):
+        from repro.core.daviesharte import DaviesHarteGenerator
+
+        rng = np.random.default_rng(19)
+        gen = DaviesHarteGenerator(0.8)
+        a = [gen.generate(4096, rng=rng) for _ in range(5)]
+        b = [gen.generate(4096, rng=rng) for _ in range(5)]
+        assert qa.acf_agreement_check(a, b, max_lag=10, alpha=0.001)
+
+    def test_acf_different_hurst_disagrees(self):
+        from repro.core.daviesharte import DaviesHarteGenerator
+
+        rng = np.random.default_rng(20)
+        a = [DaviesHarteGenerator(0.6).generate(4096, rng=rng) for _ in range(5)]
+        b = [DaviesHarteGenerator(0.9).generate(4096, rng=rng) for _ in range(5)]
+        assert not qa.acf_agreement_check(a, b, max_lag=10, alpha=0.001)
+
+    def test_gph_agreement(self):
+        from repro.core.daviesharte import DaviesHarteGenerator
+
+        rng = np.random.default_rng(21)
+        a = [DaviesHarteGenerator(0.8).generate(4096, rng=rng) for _ in range(5)]
+        b = [DaviesHarteGenerator(0.8).generate(4096, rng=rng) for _ in range(5)]
+        c = [DaviesHarteGenerator(0.55).generate(4096, rng=rng) for _ in range(5)]
+        assert qa.gph_agreement_check(a, b, alpha=0.001)
+        assert not qa.gph_agreement_check(a, c, alpha=0.001)
+
+    def test_hurst_ci_whittle(self):
+        from repro.core.hosking import hosking_farima
+
+        x = hosking_farima(8192, hurst=0.8, rng=np.random.default_rng(22))
+        assert qa.hurst_ci_check(x, 0.8, alpha=0.001, estimator="whittle")
+        assert not qa.hurst_ci_check(x, 0.6, alpha=0.001, estimator="whittle")
+
+    def test_hurst_ci_rejects_unknown_estimator(self):
+        with pytest.raises(ValueError):
+            qa.hurst_ci_check(np.zeros(100), 0.8, alpha=0.05, estimator="wavelet")
+
+    def test_acf_needs_enough_paths(self):
+        with pytest.raises(ValueError):
+            qa.acf_agreement_check(
+                [np.zeros(100)], [np.zeros(100)], max_lag=5, alpha=0.05
+            )
