@@ -1,0 +1,111 @@
+"""Resilience-layer benchmarks: what supervision and checkpointing cost.
+
+The supervisor's contract is that resilience is close to free: running
+the quick campaign with per-experiment checkpoints (pickle + digest +
+atomic JSON per experiment) must stay within 5% of the plain run, and
+the idle ``reach()`` instrumentation hook must be a no-op-scale global
+read.  Timings use ``time.perf_counter`` directly (each campaign is one
+end-to-end run); results fold into ``BENCH_resilience.json`` at the
+repo root, mirroring ``BENCH_stream.json``.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.data import reference_trace
+from repro.experiments.runner import experiment_specs
+from repro.resilience.faults import reach
+from repro.resilience.runner import run_campaign
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+_RESULTS = {}
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _record_bench():
+    """Write recorded timings to BENCH_resilience.json after the run."""
+    yield
+    if not _RESULTS:
+        return
+    path = REPO_ROOT / "BENCH_resilience.json"
+    existing = {}
+    if path.exists():
+        existing = json.loads(path.read_text())
+    existing.update(_RESULTS)
+    path.write_text(json.dumps(existing, indent=2, sort_keys=True) + "\n")
+
+
+@pytest.fixture(scope="module")
+def quick_specs():
+    trace = reference_trace(n_frames=40_000)
+    return experiment_specs(trace, quick=True)
+
+
+def _timed_campaign(specs, **kwargs):
+    start = time.perf_counter()
+    report = run_campaign(specs, **kwargs)
+    elapsed = time.perf_counter() - start
+    assert report.ok
+    assert len(report.results) == 21
+    return elapsed
+
+
+class TestCheckpointOverhead:
+    def test_checkpointing_within_5_percent(self, quick_specs, tmp_path):
+        """ISSUE acceptance: checkpointing overhead on the quick
+        campaign < 5% of the plain supervised run."""
+        # Interleave plain/checkpointed and keep each variant's best of
+        # 2, damping one-off machine noise without doubling the cost.
+        plain = min(
+            _timed_campaign(quick_specs),
+            _timed_campaign(quick_specs),
+        )
+        checkpointed = min(
+            _timed_campaign(quick_specs, checkpoint_dir=tmp_path / "a", resume=False),
+            _timed_campaign(quick_specs, checkpoint_dir=tmp_path / "b", resume=False),
+        )
+        overhead = checkpointed / plain - 1.0
+        _RESULTS["quick_campaign_checkpoint_overhead"] = {
+            "plain_seconds": round(plain, 3),
+            "checkpointed_seconds": round(checkpointed, 3),
+            "overhead_fraction": round(overhead, 4),
+        }
+        assert overhead < 0.05, (
+            f"checkpointing cost {overhead:.1%} on the quick campaign "
+            f"({plain:.2f}s -> {checkpointed:.2f}s)"
+        )
+
+    def test_resume_is_fast(self, quick_specs, tmp_path):
+        """Resuming a fully checkpointed campaign skips all the work:
+        it must cost a small fraction of the original run."""
+        ckpt = tmp_path / "full"
+        full = _timed_campaign(quick_specs, checkpoint_dir=ckpt, resume=False)
+        start = time.perf_counter()
+        report = run_campaign(quick_specs, checkpoint_dir=ckpt, resume=True)
+        resumed = time.perf_counter() - start
+        assert report.ok and len(report.resumed) == 21
+        _RESULTS["quick_campaign_resume"] = {
+            "full_seconds": round(full, 3),
+            "resumed_seconds": round(resumed, 3),
+            "speedup": round(full / resumed, 1),
+        }
+        assert resumed < 0.5 * full
+
+
+class TestReachOverhead:
+    def test_idle_hook_is_nanoseconds(self):
+        """With no active plan, reach() must stay within a few hundred
+        nanoseconds per call so instrumentation can live in hot paths."""
+        n = 1_000_000
+        start = time.perf_counter()
+        for _ in range(n):
+            reach("bench:site")
+        per_call_ns = (time.perf_counter() - start) / n * 1e9
+        _RESULTS["idle_reach_ns_per_call"] = round(per_call_ns, 1)
+        assert per_call_ns < 2_000  # generous bound; records the real cost

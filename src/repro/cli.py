@@ -9,9 +9,14 @@ Usage (also via ``python -m repro``):
     repro simulate trace.dat --sources 5 --capacity-mbps 7.0 --buffer-ms 10
     repro stream --samples 10000000 --backend paxson --out frames.npy --stats
     repro experiments --quick
+    repro experiments --quick --checkpoint-dir ckpt --resume --max-retries 2
+    repro doctor trace.dat
 
 Every command prints plain text tables; the underlying data comes from
 the same library entry points the examples and benchmarks use.
+
+Exit status: 0 on success, 1 for internal errors or failed experiments,
+2 for bad user input (missing or malformed trace files).
 """
 
 from __future__ import annotations
@@ -86,6 +91,21 @@ def build_parser():
 
     p_exp = sub.add_parser("experiments", help="run the full reproduction suite")
     p_exp.add_argument("--quick", action="store_true")
+    p_exp.add_argument("--checkpoint-dir", default=None,
+                       help="persist each completed experiment here")
+    p_exp.add_argument("--resume", action="store_true",
+                       help="skip digest-verified checkpoints from a previous run")
+    p_exp.add_argument("--max-retries", type=int, default=0,
+                       help="retries per experiment for transient failures")
+    p_exp.add_argument("--timeout-s", type=float, default=None,
+                       help="per-experiment soft timeout in seconds")
+    p_exp.add_argument("--seed", type=int, default=0,
+                       help="base seed for per-attempt seed rotation")
+
+    p_doc = sub.add_parser("doctor", help="diagnose (and repair-load) a trace file")
+    p_doc.add_argument("trace", help="trace file to examine")
+    p_doc.add_argument("--repair-budget", type=int, default=64,
+                       help="maximum bad lines the lenient loader may repair")
 
     p_rep = sub.add_parser("report", help="full Section-3 analysis report")
     p_rep.add_argument("trace", nargs="?", help="trace file (omit with --synthetic)")
@@ -292,9 +312,48 @@ def _cmd_stream(args):
 def _cmd_experiments(args):
     from repro.experiments.runner import run_all, summary_lines
 
-    results = run_all(quick=args.quick)
-    for line in summary_lines(results):
+    if args.resume and not args.checkpoint_dir:
+        raise SystemExit("--resume requires --checkpoint-dir")
+    supervised = (
+        args.checkpoint_dir is not None or args.max_retries > 0
+        or args.timeout_s is not None
+    )
+    if not supervised:
+        results = run_all(quick=args.quick)
+        for line in summary_lines(results):
+            print(line)
+        return 0
+    campaign = run_all(
+        quick=args.quick,
+        checkpoint_dir=args.checkpoint_dir,
+        resume=args.resume,
+        max_retries=args.max_retries,
+        timeout_s=args.timeout_s,
+        base_seed=args.seed,
+        report=True,
+    )
+    if campaign.ok:
+        for line in summary_lines(campaign.results):
+            print(line)
+    for line in campaign.summary_lines():
         print(line)
+    return 0 if campaign.ok else 1
+
+
+def _cmd_doctor(args):
+    from repro.video.tracefile import TraceFormatError, load_trace_lenient
+
+    try:
+        trace, report = load_trace_lenient(
+            args.trace, repair_budget=args.repair_budget
+        )
+    except TraceFormatError as exc:
+        print(f"unusable: {exc}")
+        return 2
+    for line in report.summary_lines():
+        print(line)
+    verdict = "clean" if report.is_clean else "repaired"
+    print(f"{verdict}: {trace}")
     return 0
 
 
@@ -329,13 +388,25 @@ _COMMANDS = {
     "stream": _cmd_stream,
     "experiments": _cmd_experiments,
     "generate": _cmd_generate,
+    "doctor": _cmd_doctor,
 }
 
 
 def main(argv=None):
-    """Entry point; returns the process exit code."""
+    """Entry point; returns the process exit code.
+
+    Bad user input -- a missing or malformed trace file -- gets a
+    one-line message on stderr and exit status 2; anything else is an
+    internal error and propagates (status 1 via the interpreter).
+    """
+    from repro.video.tracefile import TraceFormatError
+
     args = build_parser().parse_args(argv)
-    return _COMMANDS[args.command](args)
+    try:
+        return _COMMANDS[args.command](args)
+    except (FileNotFoundError, TraceFormatError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":

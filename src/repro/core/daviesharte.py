@@ -30,7 +30,9 @@ class DaviesHarteGenerator:
     Parameters
     ----------
     hurst:
-        Hurst parameter in (0, 1).
+        Hurst parameter, validated against the open stationary range
+        ``(0, 1)``.  The whole range is exact here; long-range
+        dependence as in the paper requires ``1/2 < H < 1``.
     variance:
         Marginal variance of the noise (mean is zero).
 

@@ -34,7 +34,11 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro._validation import require_positive, require_positive_int
+from repro._validation import (
+    require_in_open_interval,
+    require_positive,
+    require_positive_int,
+)
 from repro.core.fractional import d_from_hurst, farima_acf
 
 __all__ = ["HoskingGenerator", "hosking_farima"]
@@ -46,9 +50,11 @@ class HoskingGenerator:
     Parameters
     ----------
     hurst:
-        Hurst parameter in (0, 1); the differencing parameter is
-        ``d = hurst - 1/2``.  Pass ``d=...`` instead to specify the
-        differencing parameter directly.
+        Hurst parameter, validated against the open stationary range
+        ``(0, 1)``; the differencing parameter is ``d = hurst - 1/2``.
+        Pass ``d=...`` (in ``(-1/2, 1/2)``) instead to specify the
+        differencing parameter directly.  Long-range dependence as in
+        the paper requires ``1/2 < H < 1``.
     variance:
         Marginal variance ``v_0`` of the process (mean is zero).
 
@@ -63,10 +69,9 @@ class HoskingGenerator:
         if (hurst is None) == (d is None):
             raise ValueError("specify exactly one of hurst= or d=")
         if hurst is not None:
-            d = d_from_hurst(hurst)
+            d = d_from_hurst(require_in_open_interval(hurst, "hurst", 0.0, 1.0))
         else:
-            if not -0.5 < d < 0.5:
-                raise ValueError(f"d must lie in (-1/2, 1/2), got {d!r}")
+            d = require_in_open_interval(d, "d", -0.5, 0.5)
         self.d = float(d)
         self.hurst = self.d + 0.5
         self.variance = require_positive(variance, "variance")

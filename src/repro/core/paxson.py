@@ -64,7 +64,11 @@ class PaxsonGenerator:
     Parameters
     ----------
     hurst:
-        Hurst parameter in (0, 1).
+        Hurst parameter, validated against the open stationary range
+        ``(0, 1)``.  Note Paxson's ``B3`` aliasing correction was
+        calibrated for the long-range-dependent band ``H in [0.5, 0.9]``;
+        outside it the approximation degrades gracefully but is
+        uncalibrated.
     variance:
         Marginal variance of the noise (mean is zero).
 

@@ -1,12 +1,17 @@
 """Run the complete experiment suite and summarize measured vs paper.
 
-``run_all`` executes every table/figure experiment (optionally at
-reduced scale) and returns a dict of results;
-``summary_lines`` renders the one-line-per-experiment comparison used
-by EXPERIMENTS.md and the examples.
+``experiment_specs`` declares the suite as an ordered list of
+:class:`~repro.resilience.runner.ExperimentSpec`; ``run_all`` drives it
+through the :mod:`repro.resilience` campaign supervisor (per-experiment
+isolation, bounded retry, soft timeouts, checkpoint/resume) and returns
+a dict of results; ``summary_lines`` renders the
+one-line-per-experiment comparison used by EXPERIMENTS.md and the
+examples.
 """
 
 from __future__ import annotations
+
+import hashlib
 
 import numpy as np
 
@@ -33,54 +38,126 @@ from repro.experiments import (
     table3,
 )
 from repro.experiments.data import reference_trace
+from repro.resilience.runner import ExperimentSpec, run_campaign
 
-__all__ = ["run_all", "summary_lines"]
+__all__ = ["experiment_specs", "campaign_manifest", "run_all", "summary_lines"]
 
 
-def run_all(trace=None, quick=False, sim_frames=None):
+def experiment_specs(trace, quick=False, sim_frames=None):
+    """The full suite as ordered ``ExperimentSpec`` entries.
+
+    Each spec's thunk closes over ``trace`` and the scale parameters;
+    the experiments are deterministic functions of the trace, so the
+    supervisor's per-attempt seed is accepted and ignored.
+    """
+    if sim_frames is None:
+        sim_frames = 20_000 if quick else 60_000
+
+    def spec(experiment_id, fn, *args, **kwargs):
+        return ExperimentSpec(experiment_id, lambda seed: fn(*args, **kwargs))
+
+    return [
+        spec("table1", table1.run, trace),
+        spec("table1_codec", table1.run_codec, n_frames=8 if quick else 48),
+        spec("table2", table2.run, trace),
+        spec("table3", table3.run, trace),
+        spec("fig01", fig01_timeseries.run, trace),
+        spec("fig02", fig02_lowfreq.run, trace),
+        spec("fig03", fig03_segments.run, trace),
+        spec("fig04", fig04_ccdf.run, trace),
+        spec("fig05", fig05_lefttail.run, trace),
+        spec("fig06", fig06_density.run, trace),
+        spec("fig07", fig07_acf.run, trace),
+        spec("fig08", fig08_periodogram.run, trace),
+        spec("fig09", fig09_confidence.run, trace),
+        spec("fig10", fig10_selfsimilar.run, trace),
+        spec("fig11", fig11_variance_time.run, trace),
+        spec("fig12", fig12_pox.run, trace),
+        spec("fig13", fig13_system.run, trace, n_frames=min(sim_frames, 20_000)),
+        spec(
+            "fig14", fig14_qc.run, trace,
+            n_frames=sim_frames,
+            specs=(("overall", 0.0), ("overall", 1e-4), ("wes", 1e-3))
+            if quick else fig14_qc.DEFAULT_SPECS,
+            n_points=6 if quick else 10,
+        ),
+        spec(
+            "fig15", fig15_smg.run, trace,
+            n_frames=sim_frames,
+            loss_targets=(0.0, 1e-3) if quick else (0.0, 1e-4, 1e-3),
+        ),
+        spec("fig16", fig16_model_vs_trace.run, trace,
+             n_frames=sim_frames, n_buffers=6 if quick else 10),
+        spec("fig17", fig17_loss_process.run, trace, n_frames=sim_frames),
+    ]
+
+
+def campaign_manifest(trace, quick, sim_frames):
+    """Fingerprint of a campaign's configuration for checkpoint safety.
+
+    Resuming a checkpoint directory written under a different trace or
+    scale would silently mix incompatible results; the manifest (trace
+    content hash + scale parameters) makes that a hard error instead.
+    """
+    return {
+        "quick": bool(quick),
+        "sim_frames": int(sim_frames) if sim_frames is not None else None,
+        "n_frames": int(trace.n_frames),
+        "trace_sha256": hashlib.sha256(trace.frame_bytes.tobytes()).hexdigest()[:16],
+    }
+
+
+def run_all(trace=None, quick=False, sim_frames=None, *, checkpoint_dir=None,
+            resume=True, max_retries=0, timeout_s=None, base_seed=0,
+            fault_plan=None, report=False, sleep=None, on_event=None):
     """Execute every experiment; returns ``{experiment_id: result}``.
 
     ``quick=True`` truncates the trace to 40,000 frames and shrinks the
     simulation workloads, for smoke runs; the default runs analysis
     experiments on the full two-hour trace and simulations on 60,000
     frames (override with ``sim_frames``).
+
+    The suite runs under the :mod:`repro.resilience` supervisor.  With
+    no resilience options this keeps the legacy contract (first failure
+    raises immediately); any of the keywords below switch to supervised
+    mode, where failures are recorded and the campaign continues:
+
+    - ``checkpoint_dir`` / ``resume``: persist each completed
+      experiment and skip digest-verified checkpoints on restart;
+    - ``max_retries`` / ``timeout_s`` / ``base_seed``: bounded
+      seed-rotated retry for transient faults and a per-experiment
+      soft timeout;
+    - ``fault_plan``: a :class:`~repro.resilience.faults.FaultPlan`
+      activated for the duration of the campaign;
+    - ``report=True``: return the full
+      :class:`~repro.resilience.runner.CampaignReport` instead of the
+      bare results dict.
     """
     if trace is None:
         trace = reference_trace(n_frames=40_000 if quick else 171_000)
-    if sim_frames is None:
-        sim_frames = 20_000 if quick else 60_000
-    results = {}
-    results["table1"] = table1.run(trace)
-    results["table1_codec"] = table1.run_codec(n_frames=8 if quick else 48)
-    results["table2"] = table2.run(trace)
-    results["table3"] = table3.run(trace)
-    results["fig01"] = fig01_timeseries.run(trace)
-    results["fig02"] = fig02_lowfreq.run(trace)
-    results["fig03"] = fig03_segments.run(trace)
-    results["fig04"] = fig04_ccdf.run(trace)
-    results["fig05"] = fig05_lefttail.run(trace)
-    results["fig06"] = fig06_density.run(trace)
-    results["fig07"] = fig07_acf.run(trace)
-    results["fig08"] = fig08_periodogram.run(trace)
-    results["fig09"] = fig09_confidence.run(trace)
-    results["fig10"] = fig10_selfsimilar.run(trace)
-    results["fig11"] = fig11_variance_time.run(trace)
-    results["fig12"] = fig12_pox.run(trace)
-    results["fig13"] = fig13_system.run(trace, n_frames=min(sim_frames, 20_000))
-    results["fig14"] = fig14_qc.run(
-        trace,
-        n_frames=sim_frames,
-        specs=(("overall", 0.0), ("overall", 1e-4), ("wes", 1e-3)) if quick else fig14_qc.DEFAULT_SPECS,
-        n_points=6 if quick else 10,
+    specs = experiment_specs(trace, quick=quick, sim_frames=sim_frames)
+    supervised = (
+        checkpoint_dir is not None or max_retries > 0 or timeout_s is not None
+        or fault_plan is not None or report
     )
-    results["fig15"] = fig15_smg.run(
-        trace,
-        n_frames=sim_frames,
-        loss_targets=(0.0, 1e-3) if quick else (0.0, 1e-4, 1e-3),
+    kwargs = dict(
+        base_seed=base_seed,
+        max_retries=max_retries,
+        timeout_s=timeout_s,
+        checkpoint_dir=checkpoint_dir,
+        resume=resume,
+        manifest=campaign_manifest(trace, quick, sim_frames),
+        fail_fast=not supervised,
+        on_event=on_event,
     )
-    results["fig16"] = fig16_model_vs_trace.run(trace, n_frames=sim_frames, n_buffers=6 if quick else 10)
-    results["fig17"] = fig17_loss_process.run(trace, n_frames=sim_frames)
-    return results
+    if sleep is not None:
+        kwargs["sleep"] = sleep
+    if fault_plan is not None:
+        with fault_plan.active():
+            campaign = run_campaign(specs, **kwargs)
+    else:
+        campaign = run_campaign(specs, **kwargs)
+    return campaign if report else campaign.results
 
 
 def summary_lines(results):

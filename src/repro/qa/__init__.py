@@ -19,7 +19,13 @@ Three layers:
   ``golden`` fixture and ``--update-golden``.
 """
 
-from repro.qa.golden import GoldenMismatch, GoldenStore, diff_digests, summarize
+from repro.qa.golden import (
+    GoldenMismatch,
+    GoldenStore,
+    diff_digests,
+    digests_match,
+    summarize,
+)
 from repro.qa.stats import (
     CheckResult,
     StatisticalCheckError,
@@ -61,5 +67,6 @@ __all__ = [
     "GoldenMismatch",
     "GoldenStore",
     "diff_digests",
+    "digests_match",
     "summarize",
 ]

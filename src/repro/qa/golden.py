@@ -27,7 +27,14 @@ from pathlib import Path
 
 import numpy as np
 
-__all__ = ["DIGEST_VERSION", "GoldenMismatch", "GoldenStore", "diff_digests", "summarize"]
+__all__ = [
+    "DIGEST_VERSION",
+    "GoldenMismatch",
+    "GoldenStore",
+    "diff_digests",
+    "digests_match",
+    "summarize",
+]
 
 DIGEST_VERSION = 1
 """Bump when the digest schema changes (forces regeneration everywhere)."""
@@ -143,6 +150,16 @@ def diff_digests(golden, current, rtol=1e-6, atol=1e-9, path="$"):
     if golden != current:
         return [f"{path}: {golden!r} != {current!r}"]
     return []
+
+
+def digests_match(golden, current, rtol=1e-6, atol=1e-9):
+    """``True`` when :func:`diff_digests` finds no mismatch.
+
+    The boolean form of the diff, for callers -- checkpoint
+    verification, resume logic -- that only branch on agreement and do
+    not report the individual drift lines.
+    """
+    return not diff_digests(golden, current, rtol=rtol, atol=atol)
 
 
 class GoldenStore:

@@ -1,0 +1,441 @@
+"""Resilient experiment-campaign orchestration.
+
+The reproduction's ``run_all`` is a long sequential loop: one exception
+in experiment 15 of 21 used to discard hours of completed work.
+:func:`run_campaign` drives an ordered list of
+:class:`ExperimentSpec` through a supervisor that provides
+
+- **isolation**: an experiment failure becomes a structured
+  :class:`ExperimentFailure` (exception type, message, traceback, seed,
+  wall time) and the campaign continues with the next experiment;
+- **bounded retry**: transient faults (``MemoryError``,
+  ``TimeoutError``, :class:`~repro.resilience.faults.TransientFault`
+  and other ``RuntimeError``/``OSError``) are retried up to
+  ``max_retries`` times on a rotated seed with capped exponential
+  backoff; deterministic defects (``ValueError`` etc.) fail once;
+- **soft timeouts**: each attempt runs on a worker thread and is
+  abandoned (recorded as a ``TimeoutError`` failure) after
+  ``timeout_s`` -- soft because Python cannot safely kill a thread, so
+  the stale attempt finishes in the background and its result is
+  discarded;
+- **checkpointing**: with a ``checkpoint_dir`` every completed
+  experiment is persisted (JSON metadata + pickled payload + a
+  :func:`repro.qa.golden.summarize` digest) so a killed campaign
+  resumes, skipping completed experiments after re-verifying each
+  stored payload against its digest at :mod:`repro.qa.golden`
+  tolerances.  A corrupt or stale checkpoint is simply re-run.
+
+Determinism: attempt seeds derive from ``sha256(base_seed :
+experiment_id : attempt)``, the same discipline as the
+:mod:`repro.qa.plugin` ``seeded_rng`` fixture, so an interrupted and a
+resumed campaign draw identical streams.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+import pickle
+import threading
+import time
+import traceback as traceback_module
+from pathlib import Path
+
+from repro.qa.golden import digests_match, summarize
+from repro.resilience.faults import TransientFault, reach
+
+__all__ = [
+    "CHECKPOINT_VERSION",
+    "TRANSIENT_TYPES",
+    "CampaignReport",
+    "CheckpointStore",
+    "ExperimentFailure",
+    "ExperimentRecord",
+    "ExperimentSpec",
+    "derive_attempt_seed",
+    "run_campaign",
+]
+
+CHECKPOINT_VERSION = 1
+"""Bump when the checkpoint schema changes (stale checkpoints re-run)."""
+
+TRANSIENT_TYPES = (MemoryError, TimeoutError, OSError, TransientFault, RuntimeError)
+"""Exception types retried by default: resource pressure, timeouts and
+runtime flakes.  ``ValueError``/``TypeError`` (bad configuration or a
+genuine defect) fail an experiment on the first attempt."""
+
+
+def derive_attempt_seed(base_seed, experiment_id, attempt=0):
+    """Stable 64-bit seed from (campaign seed, experiment, attempt).
+
+    Retries rotate the seed by construction, so a statistical fluke
+    (or an injected fault keyed to one stream) does not repeat.
+    """
+    digest = hashlib.sha256(
+        f"{int(base_seed)}:{experiment_id}:{int(attempt)}".encode()
+    ).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+@dataclasses.dataclass(frozen=True)
+class ExperimentSpec:
+    """One experiment: a stable id plus a ``fn(seed) -> result`` thunk.
+
+    Deterministic experiments are free to ignore ``seed``; stochastic
+    ones should use it so retries explore fresh randomness.
+    """
+
+    experiment_id: str
+    fn: object
+
+    def run(self, seed):
+        return self.fn(seed)
+
+
+@dataclasses.dataclass(frozen=True)
+class ExperimentFailure:
+    """Structured record of one failed attempt."""
+
+    experiment_id: str
+    attempt: int
+    error_type: str
+    message: str
+    traceback: str
+    seed: int
+    wall_time: float
+    transient: bool
+
+    def describe(self):
+        kind = "transient" if self.transient else "terminal"
+        return (
+            f"{self.experiment_id} attempt {self.attempt + 1}: "
+            f"{self.error_type}: {self.message} ({kind}, {self.wall_time:.2f}s)"
+        )
+
+
+@dataclasses.dataclass
+class ExperimentRecord:
+    """Outcome of one experiment across all its attempts."""
+
+    experiment_id: str
+    status: str  # "completed" | "resumed" | "failed"
+    attempts: int
+    wall_time: float
+    seed: int | None = None
+
+
+@dataclasses.dataclass
+class CampaignReport:
+    """Everything a campaign produced, including what went wrong.
+
+    ``results`` holds the per-experiment return values (resumed ones
+    restored from checkpoint); ``failures`` the terminal failures;
+    ``attempt_failures`` every failed attempt including those later
+    retried to success -- under an injected fault plan this lists
+    exactly the injected faults.
+    """
+
+    results: dict
+    records: list
+    failures: list
+    attempt_failures: list
+    resumed: list
+
+    @property
+    def ok(self):
+        return not self.failures
+
+    def summary_lines(self):
+        done = sum(1 for r in self.records if r.status in ("completed", "resumed"))
+        lines = [
+            f"campaign: {done}/{len(self.records)} experiments completed "
+            f"({len(self.resumed)} resumed from checkpoint, "
+            f"{len(self.attempt_failures)} failed attempt(s), "
+            f"{len(self.failures)} terminal failure(s))"
+        ]
+        for failure in self.attempt_failures:
+            lines.append(f"  attempt failed: {failure.describe()}")
+        for record in self.records:
+            if record.status == "failed":
+                lines.append(f"  FAILED: {record.experiment_id} after {record.attempts} attempt(s)")
+        return lines
+
+
+class CheckpointStore:
+    """Per-experiment checkpoints under one directory.
+
+    Each completed experiment ``<id>`` is stored as
+
+    - ``<id>.json``: schema version, seed, attempts, wall time and the
+      :func:`repro.qa.golden.summarize` digest of the result;
+    - ``<id>.pkl``: the pickled result payload.
+
+    Both are written atomically (temp file + ``os.replace``), so a kill
+    mid-write leaves either the previous checkpoint or none.  On load
+    the payload is re-summarized and diffed against the stored digest
+    at golden tolerances; any drift (a truncated pickle, a different
+    library version changing the result) invalidates the checkpoint and
+    the experiment re-runs.
+    """
+
+    def __init__(self, root, rtol=1e-6, atol=1e-9):
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.rtol = float(rtol)
+        self.atol = float(atol)
+
+    def _meta_path(self, experiment_id):
+        return self.root / f"{experiment_id}.json"
+
+    def _payload_path(self, experiment_id):
+        return self.root / f"{experiment_id}.pkl"
+
+    def _write_atomic(self, path, data):
+        tmp = path.with_suffix(path.suffix + ".tmp")
+        with open(tmp, "wb") as handle:
+            handle.write(data)
+        os.replace(tmp, path)
+
+    # ------------------------------------------------------------------
+    # Manifest: guards against resuming with a different configuration
+    # ------------------------------------------------------------------
+    def write_manifest(self, manifest):
+        document = {"version": CHECKPOINT_VERSION, "manifest": manifest}
+        self._write_atomic(
+            self.root / "campaign.json",
+            (json.dumps(document, indent=2, sort_keys=True) + "\n").encode(),
+        )
+
+    def check_manifest(self, manifest):
+        """Raise if an existing manifest disagrees with ``manifest``."""
+        path = self.root / "campaign.json"
+        if not path.exists():
+            return
+        try:
+            document = json.loads(path.read_text())
+        except (OSError, ValueError):
+            return
+        stored = document.get("manifest")
+        if document.get("version") == CHECKPOINT_VERSION and stored != manifest:
+            drift = sorted(
+                k for k in set(stored or {}) | set(manifest or {})
+                if (stored or {}).get(k) != (manifest or {}).get(k)
+            )
+            raise ValueError(
+                f"checkpoint directory {self.root} belongs to a different campaign "
+                f"(configuration drift in {drift}); point --checkpoint-dir at a "
+                f"fresh directory or re-run without --resume"
+            )
+
+    # ------------------------------------------------------------------
+    # Per-experiment checkpoints
+    # ------------------------------------------------------------------
+    def save(self, experiment_id, result, seed, attempts, wall_time):
+        digest = summarize(result)
+        self._write_atomic(self._payload_path(experiment_id),
+                           pickle.dumps(result, protocol=pickle.HIGHEST_PROTOCOL))
+        meta = {
+            "version": CHECKPOINT_VERSION,
+            "experiment": experiment_id,
+            "seed": int(seed),
+            "attempts": int(attempts),
+            "wall_time": float(wall_time),
+            "digest": digest,
+        }
+        self._write_atomic(
+            self._meta_path(experiment_id),
+            (json.dumps(meta, indent=2, sort_keys=True) + "\n").encode(),
+        )
+
+    def load(self, experiment_id):
+        """Return ``(result, meta)`` for a verified checkpoint, else ``None``.
+
+        Missing files, unreadable JSON/pickle, schema drift, and digest
+        drift beyond golden tolerances all invalidate silently -- the
+        caller's remedy is identical in every case: re-run.
+        """
+        meta_path = self._meta_path(experiment_id)
+        payload_path = self._payload_path(experiment_id)
+        if not (meta_path.exists() and payload_path.exists()):
+            return None
+        try:
+            meta = json.loads(meta_path.read_text())
+            if meta.get("version") != CHECKPOINT_VERSION:
+                return None
+            with open(payload_path, "rb") as handle:
+                result = pickle.load(handle)
+        except Exception:
+            return None
+        # Round-trip through JSON so stored and fresh digests compare
+        # with identical container/float types.
+        fresh = json.loads(json.dumps(summarize(result)))
+        if not digests_match(meta.get("digest"), fresh, rtol=self.rtol, atol=self.atol):
+            return None
+        return result, meta
+
+    def completed(self):
+        """Experiment ids with a metadata file present (unverified)."""
+        return sorted(p.stem for p in self.root.glob("*.json") if p.stem != "campaign")
+
+
+def _call_with_timeout(spec, seed, timeout_s):
+    """Run one attempt, optionally under a soft timeout.
+
+    The attempt runs on a daemon thread; on timeout a ``TimeoutError``
+    is raised here and the stale thread is abandoned (its eventual
+    result is discarded).  Soft by design: Python offers no safe
+    preemption, and an abandoned numeric attempt holds no locks.
+    """
+    if timeout_s is None:
+        return spec.run(seed)
+    box = {}
+
+    def _target():
+        try:
+            box["result"] = spec.run(seed)
+        except BaseException as exc:  # delivered to the supervisor thread
+            box["error"] = exc
+
+    worker = threading.Thread(
+        target=_target, name=f"experiment-{spec.experiment_id}", daemon=True
+    )
+    worker.start()
+    worker.join(timeout_s)
+    if worker.is_alive():
+        raise TimeoutError(
+            f"experiment {spec.experiment_id!r} exceeded the soft timeout of {timeout_s:g}s"
+        )
+    if "error" in box:
+        raise box["error"]
+    return box["result"]
+
+
+def run_campaign(specs, *, base_seed=0, max_retries=0, timeout_s=None,
+                 checkpoint_dir=None, resume=True, manifest=None,
+                 transient_types=TRANSIENT_TYPES, backoff_base=0.05,
+                 backoff_cap=5.0, sleep=time.sleep, fail_fast=False,
+                 on_event=None):
+    """Drive ``specs`` (ordered :class:`ExperimentSpec`) to a report.
+
+    Parameters
+    ----------
+    base_seed:
+        Campaign seed; each attempt's seed is derived from it together
+        with the experiment id and attempt number.
+    max_retries:
+        Extra attempts granted to *transient* failures (see
+        ``transient_types``); non-transient exceptions fail terminally
+        on the first attempt.
+    timeout_s:
+        Per-attempt soft timeout in seconds (``None`` disables).
+    checkpoint_dir:
+        Directory for :class:`CheckpointStore` persistence; ``None``
+        disables checkpointing.
+    resume:
+        With a checkpoint directory, load and digest-verify existing
+        checkpoints, skipping the experiments they cover.
+    manifest:
+        JSON-able campaign fingerprint; resuming against a directory
+        whose manifest differs raises ``ValueError``.
+    backoff_base, backoff_cap, sleep:
+        Exponential backoff between retries:
+        ``min(backoff_base * 2**attempt, backoff_cap)`` seconds, via
+        ``sleep`` (injectable so tests run instantly).
+    fail_fast:
+        Re-raise the first terminal failure immediately instead of
+        recording it and continuing (the legacy ``run_all`` contract).
+    on_event:
+        Optional ``fn(kind, experiment_id, detail)`` progress callback
+        (kinds: ``start``, ``resumed``, ``completed``, ``retry``,
+        ``failed``).
+    """
+    specs = [
+        spec if isinstance(spec, ExperimentSpec) else ExperimentSpec(*spec)
+        for spec in specs
+    ]
+    seen = set()
+    for spec in specs:
+        if spec.experiment_id in seen:
+            raise ValueError(f"duplicate experiment id {spec.experiment_id!r}")
+        seen.add(spec.experiment_id)
+    store = None
+    if checkpoint_dir is not None:
+        store = CheckpointStore(checkpoint_dir)
+        if resume:
+            store.check_manifest(manifest)
+        store.write_manifest(manifest)
+
+    def _notify(kind, experiment_id, detail=""):
+        if on_event is not None:
+            on_event(kind, experiment_id, detail)
+
+    report = CampaignReport(results={}, records=[], failures=[],
+                            attempt_failures=[], resumed=[])
+    for spec in specs:
+        eid = spec.experiment_id
+        if store is not None and resume:
+            loaded = store.load(eid)
+            if loaded is not None:
+                result, meta = loaded
+                report.results[eid] = result
+                report.resumed.append(eid)
+                report.records.append(ExperimentRecord(
+                    eid, "resumed", int(meta.get("attempts", 1)),
+                    float(meta.get("wall_time", 0.0)), meta.get("seed"),
+                ))
+                _notify("resumed", eid)
+                continue
+        _notify("start", eid)
+        attempts_allowed = int(max_retries) + 1
+        total_wall = 0.0
+        for attempt in range(attempts_allowed):
+            seed = derive_attempt_seed(base_seed, eid, attempt)
+            start = time.perf_counter()
+            try:
+                reach(f"experiment:{eid}")
+                result = _call_with_timeout(spec, seed, timeout_s)
+            except (KeyboardInterrupt, SystemExit):
+                raise
+            except Exception as exc:
+                wall = time.perf_counter() - start
+                total_wall += wall
+                transient = isinstance(exc, transient_types)
+                failure = ExperimentFailure(
+                    experiment_id=eid,
+                    attempt=attempt,
+                    error_type=type(exc).__name__,
+                    message=str(exc),
+                    traceback="".join(
+                        traceback_module.format_exception(type(exc), exc, exc.__traceback__)
+                    ),
+                    seed=seed,
+                    wall_time=wall,
+                    transient=transient,
+                )
+                report.attempt_failures.append(failure)
+                if transient and attempt + 1 < attempts_allowed:
+                    _notify("retry", eid, failure.describe())
+                    sleep(min(backoff_base * 2.0 ** attempt, backoff_cap))
+                    continue
+                report.failures.append(failure)
+                report.records.append(
+                    ExperimentRecord(eid, "failed", attempt + 1, total_wall, seed)
+                )
+                _notify("failed", eid, failure.describe())
+                if fail_fast:
+                    raise
+                break
+            else:
+                wall = time.perf_counter() - start
+                total_wall += wall
+                report.results[eid] = result
+                report.records.append(
+                    ExperimentRecord(eid, "completed", attempt + 1, total_wall, seed)
+                )
+                if store is not None:
+                    store.save(eid, result, seed, attempt + 1, total_wall)
+                _notify("completed", eid)
+                break
+    return report

@@ -29,7 +29,13 @@ validation run) actually needs:
 """
 
 from repro.stream.estimators import OnlineMoments, StreamingVarianceTime
-from repro.stream.pipeline import ParallelSources, Stream, merge_streams, multiplex_lagged
+from repro.stream.pipeline import (
+    ParallelSources,
+    Stream,
+    StreamIntegrityError,
+    merge_streams,
+    multiplex_lagged,
+)
 from repro.stream.queueing import StreamingQueue, simulate_queue_stream
 from repro.stream.sources import ArraySource, BlockFGNSource, HoskingSource, make_source
 from repro.stream.transform import StreamingMarginalTransform, transform_chunks
@@ -41,6 +47,7 @@ __all__ = [
     "OnlineMoments",
     "ParallelSources",
     "Stream",
+    "StreamIntegrityError",
     "StreamingMarginalTransform",
     "StreamingQueue",
     "StreamingVarianceTime",

@@ -30,9 +30,32 @@ import numpy as np
 from repro._validation import as_1d_float_array, require_positive_int
 from repro.stream.transform import StreamingMarginalTransform
 
-__all__ = ["Stream", "merge_streams", "multiplex_lagged", "ParallelSources"]
+__all__ = [
+    "Stream",
+    "StreamIntegrityError",
+    "merge_streams",
+    "multiplex_lagged",
+    "ParallelSources",
+]
 
 _END = object()
+
+
+class StreamIntegrityError(ValueError):
+    """A pipeline chunk failed validation.
+
+    Carries provenance -- which stream (``source`` label), which chunk
+    (``chunk_index``) and which absolute sample (``sample_offset``) --
+    so a non-finite burst deep in a multi-stage pipeline is reported at
+    the stage that produced it instead of surfacing as an unrelated
+    numpy error several consumers later.
+    """
+
+    def __init__(self, message, source=None, chunk_index=None, sample_offset=None):
+        super().__init__(message)
+        self.source = source
+        self.chunk_index = chunk_index
+        self.sample_offset = sample_offset
 
 
 def _rechunk(chunks, chunk_size):
@@ -111,6 +134,35 @@ class Stream:
         """Re-slice into chunks of exactly ``chunk_size`` (last may be short)."""
         chunk_size = require_positive_int(chunk_size, "chunk_size")
         return Stream(_rechunk(self._chunks, chunk_size), n=self.n)
+
+    def guard(self, label="stream"):
+        """Fail fast on non-finite chunks, with provenance.
+
+        Every chunk is checked for NaN/Inf before it continues
+        downstream; a bad chunk raises :class:`StreamIntegrityError`
+        naming the stream (``label``), the chunk index and the absolute
+        offset of the first bad sample.  Put a guard after each
+        generation stage so corruption is attributed to its producer.
+        """
+
+        def _guarded(chunks):
+            offset = 0
+            for index, chunk in enumerate(chunks):
+                chunk = np.asarray(chunk, dtype=float)
+                bad = ~np.isfinite(chunk)
+                if bad.any():
+                    first = int(np.argmax(bad))
+                    raise StreamIntegrityError(
+                        f"{label}: chunk {index} carries {int(bad.sum())} "
+                        f"non-finite sample(s), first at stream offset "
+                        f"{offset + first} (chunk offset {first})",
+                        source=label, chunk_index=index,
+                        sample_offset=offset + first,
+                    )
+                offset += chunk.size
+                yield chunk
+
+        return Stream(_guarded(self._chunks), n=self.n)
 
     def observe(self, *folders):
         """Pass chunks through unchanged, updating online accumulators.
@@ -285,32 +337,98 @@ class ParallelSources:
             len(self.sources) if max_workers is None
             else require_positive_int(max_workers, "max_workers")
         )
+        self.recoveries = []
 
-    def chunks(self, n, chunk_size, rng=None, aggregate=True):
+    def _spawn_children(self, rng, count):
+        """Child generators plus the seed material to rebuild them.
+
+        The seed sequences are spawned exactly the way ``rng.spawn``
+        would, so the emitted values are identical to the pre-recovery
+        implementation; keeping the sequences is what allows a dead
+        source to be regenerated deterministically mid-stream.
+        """
+        try:
+            seed_seqs = rng.bit_generator.seed_seq.spawn(count)
+        except AttributeError:
+            # Exotic bit generator without a seed sequence: values are
+            # still reproducible, but worker death cannot be recovered.
+            return rng.spawn(count), None
+        bitgen_type = type(rng.bit_generator)
+        children = [np.random.Generator(bitgen_type(seq)) for seq in seed_seqs]
+        return children, (seed_seqs, bitgen_type)
+
+    def chunks(self, n, chunk_size, rng=None, aggregate=True, max_restarts=1):
         """Yield per-step results across all sources.
 
         With ``aggregate=True`` each step yields the elementwise sum of
         every source's next chunk (the multiplexed arrival process);
         otherwise it yields the list of per-source chunks.
+
+        A source whose worker raises mid-stream is *recovered* rather
+        than deadlocking or killing the pool: its iterator is rebuilt
+        from the recorded child seed, the chunks already delivered are
+        regenerated and discarded (numpy streams are deterministic, so
+        the replay is exact), and the step completes with the chunk the
+        dead worker owed.  Each source gets ``max_restarts`` such
+        recoveries per ``chunks()`` call; beyond that the original
+        exception propagates.  Recovery events are appended to
+        :attr:`recoveries` (reset at each call).
         """
         n = require_positive_int(n, "n")
         chunk_size = require_positive_int(chunk_size, "chunk_size")
         if rng is None:
             rng = np.random.default_rng()
-        child_rngs = rng.spawn(len(self.sources))
+        child_rngs, seed_material = self._spawn_children(rng, len(self.sources))
         iterators = [
             src.chunks(n, chunk_size, rng=child)
             for src, child in zip(self.sources, child_rngs)
         ]
+        delivered = [0] * len(iterators)
+        restarts = [0] * len(iterators)
+        self.recoveries = []
+
+        def _recover(index, exc):
+            """Rebuild iterator ``index`` past its delivered chunks."""
+            if seed_material is None or restarts[index] >= max_restarts:
+                raise exc
+            restarts[index] += 1
+            seed_seqs, bitgen_type = seed_material
+            fresh = np.random.Generator(bitgen_type(seed_seqs[index]))
+            replacement = self.sources[index].chunks(n, chunk_size, rng=fresh)
+            for _ in range(delivered[index]):
+                next(replacement)
+            self.recoveries.append({
+                "source": index,
+                "after_chunks": delivered[index],
+                "error_type": type(exc).__name__,
+                "message": str(exc),
+                "restart": restarts[index],
+            })
+            return replacement
+
         executor = concurrent.futures.ThreadPoolExecutor(max_workers=self.max_workers)
         try:
             while True:
                 futures = [executor.submit(next, it, _END) for it in iterators]
-                pieces = [f.result() for f in futures]
+                pieces = []
+                for index, future in enumerate(futures):
+                    while True:
+                        try:
+                            pieces.append(future.result())
+                            break
+                        except Exception as exc:
+                            # The worker died; regenerate this source from
+                            # its seed (synchronously -- recovery is the
+                            # rare path) and retry the step.
+                            iterators[index] = _recover(index, exc)
+                            future = executor.submit(next, iterators[index], _END)
                 if pieces[0] is _END:
                     if any(piece is not _END for piece in pieces):
                         raise RuntimeError("sources ended at different lengths")
                     return
+                for index, piece in enumerate(pieces):
+                    if piece is not _END:
+                        delivered[index] += 1
                 if aggregate:
                     total = pieces[0].copy()
                     for piece in pieces[1:]:

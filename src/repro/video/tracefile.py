@@ -6,19 +6,93 @@ count per line.  This module reads and writes that format (with
 optional ``#`` header comments carrying the temporal metadata) so the
 original trace -- or any other trace in the same format -- can be fed
 directly into every analysis and simulation entry point.
+
+Real trace files arrive damaged: killed transfers truncate them
+mid-line, re-encodings plant non-ASCII bytes, tooling bugs write
+negative or astronomically large counts.  :func:`load_trace` therefore
+has two modes.  ``errors="strict"`` (the default) raises
+:class:`TraceFormatError` naming the path and first offending line.
+``errors="lenient"`` repairs isolated bad lines -- up to
+``repair_budget`` of them -- by linear interpolation between the
+nearest good counts, trims a trailing partial frame of slice data, and
+reports everything it did in a :class:`TraceRepairReport`
+(:func:`load_trace_lenient` returns it alongside the trace; the
+``repro doctor`` CLI prints it).
 """
 
 from __future__ import annotations
 
+import dataclasses
+import math
 import os
 
 import numpy as np
 
 from repro.video.trace import VBRTrace
 
-__all__ = ["save_trace", "load_trace"]
+__all__ = [
+    "TraceFormatError",
+    "TraceRepairReport",
+    "BadLine",
+    "save_trace",
+    "load_trace",
+    "load_trace_lenient",
+]
 
 _HEADER_KEYS = ("frame_rate", "slices_per_frame", "unit")
+
+
+class TraceFormatError(ValueError):
+    """A trace file violates the Bellcore format.
+
+    ``path`` and ``line_number`` (1-based, ``None`` for file-level
+    problems) locate the first offence; the message embeds both.
+    """
+
+    def __init__(self, message, path=None, line_number=None):
+        super().__init__(message)
+        self.path = path
+        self.line_number = line_number
+
+
+@dataclasses.dataclass(frozen=True)
+class BadLine:
+    """One rejected line: where, why, and what it said."""
+
+    line_number: int
+    reason: str
+    text: str
+
+
+@dataclasses.dataclass
+class TraceRepairReport:
+    """What the lenient loader found and fixed in one file."""
+
+    path: str
+    n_lines: int
+    n_data_lines: int
+    bad_lines: list
+    repaired: int
+    dropped_trailing: int
+
+    @property
+    def is_clean(self):
+        return not self.bad_lines and not self.dropped_trailing
+
+    def summary_lines(self):
+        lines = [
+            f"{self.path}: {self.n_lines} line(s), "
+            f"{self.n_data_lines} good data line(s), "
+            f"{len(self.bad_lines)} bad line(s), {self.repaired} repaired"
+        ]
+        for bad in self.bad_lines:
+            lines.append(f"  line {bad.line_number}: {bad.reason}: {bad.text!r}")
+        if self.dropped_trailing:
+            lines.append(
+                f"  dropped {self.dropped_trailing} trailing slice value(s) "
+                f"(partial final frame)"
+            )
+        return lines
 
 
 def save_trace(trace, path, unit="frame"):
@@ -49,7 +123,174 @@ def save_trace(trace, path, unit="frame"):
             handle.write(f"{int(round(value))}\n")
 
 
-def load_trace(path, frame_rate=None, slices_per_frame=None, unit=None):
+def _classify_line(line):
+    """Parse one decoded data line; returns ``(value, reason)``.
+
+    Exactly one of the pair is ``None``.  Beyond "not a number", the
+    loader rejects the values a naive ``float()`` happily accepts but
+    every analysis downstream chokes on: NaN, infinities (including
+    overflowed integer literals) and negative byte counts.
+    """
+    try:
+        value = float(line)
+    except ValueError:
+        return None, "not a number"
+    if math.isnan(value):
+        return None, "NaN count"
+    if math.isinf(value):
+        return None, "overflow/non-finite count"
+    if value < 0:
+        return None, "negative count"
+    return value, None
+
+
+def _parse_file(path, lenient, repair_budget):
+    """Shared strict/lenient scan; returns ``(header, values, report)``.
+
+    ``values`` carries NaN placeholders at bad lines in lenient mode;
+    in strict mode the first bad line raises.  The file is read as
+    bytes and decoded per line so a single non-ASCII byte is a located
+    :class:`BadLine` instead of a file-level ``UnicodeDecodeError``.
+    """
+    header = {}
+    values = []
+    bad_lines = []
+    n_lines = 0
+
+    def offend(line_number, reason, text):
+        if not lenient:
+            raise TraceFormatError(
+                f"{path}:{line_number}: {reason}: {text!r}",
+                path=str(path), line_number=line_number,
+            )
+        if len(bad_lines) >= repair_budget:
+            raise TraceFormatError(
+                f"{path}: more than {repair_budget} bad line(s) "
+                f"(repair budget exhausted at line {line_number}: {reason})",
+                path=str(path), line_number=line_number,
+            )
+        bad_lines.append(BadLine(line_number, reason, text))
+        values.append(np.nan)
+
+    with open(path, "rb") as handle:
+        for line_number, raw in enumerate(handle, start=1):
+            n_lines = line_number
+            try:
+                line = raw.decode("ascii").strip()
+            except UnicodeDecodeError:
+                offend(line_number, "non-ASCII bytes",
+                       raw.decode("ascii", errors="replace").strip()[:40])
+                continue
+            if not line:
+                continue
+            if line.startswith("#"):
+                parts = line[1:].split()
+                if len(parts) == 2 and parts[0] in _HEADER_KEYS:
+                    header[parts[0]] = parts[1]
+                continue
+            value, reason = _classify_line(line)
+            if reason is not None:
+                offend(line_number, reason, line[:40])
+            else:
+                values.append(value)
+
+    report = TraceRepairReport(
+        path=str(path),
+        n_lines=n_lines,
+        n_data_lines=len(values) - len(bad_lines),
+        bad_lines=bad_lines,
+        repaired=0,
+        dropped_trailing=0,
+    )
+    return header, np.asarray(values, dtype=float), report
+
+
+def _repair(data, report):
+    """Interpolate NaN placeholders from the nearest good neighbours."""
+    bad = np.isnan(data)
+    if not bad.any():
+        return data
+    good_idx = np.flatnonzero(~bad)
+    data = data.copy()
+    # np.interp clamps at the ends, so leading/trailing bad lines take
+    # the nearest good count instead of extrapolating.
+    data[bad] = np.interp(np.flatnonzero(bad), good_idx, data[good_idx])
+    report.repaired = int(bad.sum())
+    return data
+
+
+def _build_trace(path, header, data, report, frame_rate, slices_per_frame,
+                 unit, lenient):
+    if frame_rate is None:
+        try:
+            frame_rate = float(header.get("frame_rate", 24.0))
+        except ValueError:
+            raise TraceFormatError(
+                f"{path}: malformed frame_rate header {header['frame_rate']!r}",
+                path=str(path),
+            ) from None
+    if slices_per_frame is None:
+        try:
+            slices_per_frame = int(header.get("slices_per_frame", 30))
+        except ValueError:
+            raise TraceFormatError(
+                f"{path}: malformed slices_per_frame header "
+                f"{header['slices_per_frame']!r}",
+                path=str(path),
+            ) from None
+    if unit is None:
+        unit = header.get("unit", "frame")
+    if unit not in ("frame", "slice"):
+        raise ValueError(f'unit must be "frame" or "slice", got {unit!r}')
+    if unit == "frame":
+        return VBRTrace(data, frame_rate=frame_rate, slices_per_frame=slices_per_frame)
+    if data.size % slices_per_frame:
+        if not lenient or data.size < slices_per_frame:
+            raise TraceFormatError(
+                f"{path}: slice trace length {data.size} is not a multiple of "
+                f"slices_per_frame={slices_per_frame}",
+                path=str(path),
+            )
+        report.dropped_trailing = int(data.size % slices_per_frame)
+        data = data[: data.size - report.dropped_trailing]
+    frames = data.reshape(-1, slices_per_frame).sum(axis=1)
+    return VBRTrace(
+        frames,
+        frame_rate=frame_rate,
+        slices_per_frame=slices_per_frame,
+        slice_bytes=data,
+    )
+
+
+def load_trace_lenient(path, frame_rate=None, slices_per_frame=None, unit=None,
+                       repair_budget=64):
+    """Load a damaged trace, repairing what a budget allows.
+
+    Returns ``(trace, report)``: the usable
+    :class:`~repro.video.trace.VBRTrace` plus the
+    :class:`TraceRepairReport` describing every bad line (located and
+    classified), the interpolated repairs, and any trailing slice
+    values dropped to restore the lines-per-frame invariant.  More than
+    ``repair_budget`` bad lines -- no longer "isolated damage" -- still
+    raises :class:`TraceFormatError`.
+    """
+    if not os.path.exists(path):
+        raise FileNotFoundError(f"trace file not found: {path}")
+    header, data, report = _parse_file(path, lenient=True,
+                                       repair_budget=int(repair_budget))
+    if report.n_data_lines == 0:
+        raise TraceFormatError(
+            f"trace file {path} contains no usable data lines", path=str(path)
+        )
+    data = _repair(data, report)
+    trace = _build_trace(path, header, data, report, frame_rate,
+                         slices_per_frame, unit, lenient=True)
+    trace.repair_report = report
+    return trace, report
+
+
+def load_trace(path, frame_rate=None, slices_per_frame=None, unit=None,
+               errors="strict", repair_budget=64):
     """Read a trace file written by :func:`save_trace` (or the original).
 
     Header comments provide the metadata; explicit keyword arguments
@@ -58,47 +299,28 @@ def load_trace(path, frame_rate=None, slices_per_frame=None, unit=None):
     30 slices per frame.  When the file holds slice data, frame byte
     counts are reconstructed by summation (the line count must be a
     multiple of ``slices_per_frame``).
+
+    ``errors="strict"`` (default) raises :class:`TraceFormatError` --
+    a ``ValueError`` subclass, naming path and line number -- on the
+    first malformed, non-ASCII, NaN, infinite or negative line;
+    ``errors="lenient"`` instead repairs up to ``repair_budget`` bad
+    lines (see :func:`load_trace_lenient`, which also returns the
+    repair report).
     """
+    if errors not in ("strict", "lenient"):
+        raise ValueError(f'errors must be "strict" or "lenient", got {errors!r}')
+    if errors == "lenient":
+        trace, _ = load_trace_lenient(
+            path, frame_rate=frame_rate, slices_per_frame=slices_per_frame,
+            unit=unit, repair_budget=repair_budget,
+        )
+        return trace
     if not os.path.exists(path):
         raise FileNotFoundError(f"trace file not found: {path}")
-    header = {}
-    values = []
-    with open(path, "r", encoding="ascii") as handle:
-        for line_number, line in enumerate(handle, start=1):
-            line = line.strip()
-            if not line:
-                continue
-            if line.startswith("#"):
-                parts = line[1:].split()
-                if len(parts) == 2 and parts[0] in _HEADER_KEYS:
-                    header[parts[0]] = parts[1]
-                continue
-            try:
-                values.append(float(line))
-            except ValueError:
-                raise ValueError(f"{path}:{line_number}: not a number: {line!r}") from None
-    if not values:
-        raise ValueError(f"trace file {path} contains no data lines")
-    if frame_rate is None:
-        frame_rate = float(header.get("frame_rate", 24.0))
-    if slices_per_frame is None:
-        slices_per_frame = int(header.get("slices_per_frame", 30))
-    if unit is None:
-        unit = header.get("unit", "frame")
-    if unit not in ("frame", "slice"):
-        raise ValueError(f'unit must be "frame" or "slice", got {unit!r}')
-    data = np.asarray(values, dtype=float)
-    if unit == "frame":
-        return VBRTrace(data, frame_rate=frame_rate, slices_per_frame=slices_per_frame)
-    if data.size % slices_per_frame:
-        raise ValueError(
-            f"slice trace length {data.size} is not a multiple of "
-            f"slices_per_frame={slices_per_frame}"
+    header, data, report = _parse_file(path, lenient=False, repair_budget=0)
+    if data.size == 0:
+        raise TraceFormatError(
+            f"trace file {path} contains no data lines", path=str(path)
         )
-    frames = data.reshape(-1, slices_per_frame).sum(axis=1)
-    return VBRTrace(
-        frames,
-        frame_rate=frame_rate,
-        slices_per_frame=slices_per_frame,
-        slice_bytes=data,
-    )
+    return _build_trace(path, header, data, report, frame_rate,
+                        slices_per_frame, unit, lenient=False)

@@ -250,3 +250,86 @@ class TestStreamCommandRegressions:
         assert code == 0
         printed = capsys.readouterr().out
         assert "variance-time Hurst estimate:" in printed
+
+
+class TestErrorHandling:
+    """Bad user input must print one line on stderr and exit 2."""
+
+    def test_missing_trace_exits_2(self, capsys):
+        assert main(["analyze", "/no/such/trace.dat"]) == 2
+        captured = capsys.readouterr()
+        assert captured.err.startswith("error: ")
+        assert "Traceback" not in captured.err
+
+    def test_malformed_trace_exits_2(self, tmp_path, capsys):
+        path = tmp_path / "bad.dat"
+        path.write_text("100\noops\n")
+        assert main(["analyze", str(path)]) == 2
+        err = capsys.readouterr().err
+        assert "bad.dat:2" in err
+
+    def test_simulate_with_malformed_trace_exits_2(self, tmp_path, capsys):
+        path = tmp_path / "bad.dat"
+        path.write_text("nan\n100\n")
+        code = main(["simulate", str(path), "--capacity-mbps", "10"])
+        assert code == 2
+        assert "bad.dat:1" in capsys.readouterr().err
+
+    def test_resume_requires_checkpoint_dir(self):
+        with pytest.raises(SystemExit, match="checkpoint-dir"):
+            main(["experiments", "--quick", "--resume"])
+
+
+class TestDoctorCommand:
+    def make_file(self, tmp_path, text):
+        path = tmp_path / "t.dat"
+        path.write_text(text)
+        return str(path)
+
+    def test_clean_trace(self, tmp_path, capsys):
+        path = self.make_file(tmp_path, "100\n200\n300\n")
+        assert main(["doctor", path]) == 0
+        out = capsys.readouterr().out
+        assert "0 bad line(s)" in out
+        assert out.strip().splitlines()[-1].startswith("clean:")
+
+    def test_repairable_trace(self, tmp_path, capsys):
+        path = self.make_file(tmp_path, "100\nnan\n300\n-5\n400\n")
+        assert main(["doctor", path]) == 0
+        out = capsys.readouterr().out
+        assert "2 bad line(s), 2 repaired" in out
+        assert "NaN count" in out
+        assert "negative count" in out
+        assert out.strip().splitlines()[-1].startswith("repaired:")
+
+    def test_unusable_trace(self, tmp_path, capsys):
+        path = self.make_file(tmp_path, "x\ny\n")
+        assert main(["doctor", path]) == 2
+        assert "unusable" in capsys.readouterr().out
+
+    def test_missing_trace(self, capsys):
+        assert main(["doctor", "/no/such/file.dat"]) == 2
+        assert "error: " in capsys.readouterr().err
+
+    def test_budget_flag(self, tmp_path, capsys):
+        path = self.make_file(tmp_path, "\n".join(["100", "bad"] * 10) + "\n")
+        assert main(["doctor", path, "--repair-budget", "3"]) == 2
+        assert "unusable" in capsys.readouterr().out
+
+
+class TestExperimentsResilienceFlags:
+    def test_parser_accepts_resilience_flags(self):
+        args = build_parser().parse_args([
+            "experiments", "--quick", "--checkpoint-dir", "ckpt",
+            "--resume", "--max-retries", "2", "--timeout-s", "30",
+        ])
+        assert args.checkpoint_dir == "ckpt"
+        assert args.resume is True
+        assert args.max_retries == 2
+        assert args.timeout_s == 30.0
+
+    def test_defaults_stay_legacy(self):
+        args = build_parser().parse_args(["experiments", "--quick"])
+        assert args.checkpoint_dir is None
+        assert args.resume is False
+        assert args.max_retries == 0

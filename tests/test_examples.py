@@ -76,3 +76,10 @@ class TestExamples:
         out = run_example("estimator_comparison.py", "--frames", "8000")
         assert "true H = 0.800" in out
         assert "strongly LRD" in out
+
+    def test_resilient_campaign(self):
+        out = run_example("resilient_campaign.py")
+        assert "killed" in out
+        assert "resumed from digest-verified checkpoints" in out
+        assert "21/21 experiments completed" in out
+        assert "matches the injected fault plan exactly" in out

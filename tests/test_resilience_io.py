@@ -1,0 +1,177 @@
+"""Corruption-recovery suite for trace-file I/O.
+
+Every damaged file is produced by the fault-injection corrupters in
+:mod:`repro.resilience.faults`, so the failure modes tested here are
+exactly the ones the chaos harness can inject elsewhere.
+"""
+
+import numpy as np
+import pytest
+
+from repro.resilience.faults import TRACE_CORRUPTIONS, FaultPlan, corrupt_trace_file
+from repro.video.trace import VBRTrace
+from repro.video.tracefile import (
+    TraceFormatError,
+    load_trace,
+    load_trace_lenient,
+    save_trace,
+)
+
+# Modes that damage a single line's value; "truncated" (which shortens
+# the file) is exercised separately because a frame-unit file with one
+# clean-cut line is still syntactically valid.
+LINE_CORRUPTIONS = tuple(m for m in TRACE_CORRUPTIONS if m != "truncated")
+
+
+def truncate_breaking_invariant(path, slices_per_frame=4):
+    """Corrupt ``path`` by truncation so the slice invariant breaks.
+
+    The corrupter picks the cut line at random from its seeded stream;
+    one cut in ``slices_per_frame`` lands on a frame boundary and stays
+    valid, so probe a few seeds for one that actually breaks it.
+    """
+    for seed in range(16):
+        bad = FaultPlan(seed=seed).corrupt_trace_file(path, "truncated")
+        n_data = sum(
+            1 for line in open(bad, "rb").read().splitlines()
+            if line.strip() and not line.lstrip().startswith(b"#")
+        )
+        if n_data % slices_per_frame:
+            return bad
+    raise AssertionError("no probed seed broke the slice invariant")
+
+
+@pytest.fixture
+def clean_file(tmp_path):
+    rng = np.random.default_rng(0)
+    frames = rng.integers(1000, 5000, size=80).astype(float)
+    path = tmp_path / "clean.dat"
+    save_trace(VBRTrace(frames, frame_rate=24.0), path)
+    return path, frames
+
+
+@pytest.fixture
+def slice_file(tmp_path):
+    rng = np.random.default_rng(1)
+    slices = rng.integers(100, 500, size=40 * 4).astype(float)
+    frames = slices.reshape(40, 4).sum(axis=1)
+    trace = VBRTrace(frames, frame_rate=24.0, slices_per_frame=4, slice_bytes=slices)
+    path = tmp_path / "slices.dat"
+    save_trace(trace, path, unit="slice")
+    return path
+
+
+class TestStrict:
+    @pytest.mark.parametrize("mode", LINE_CORRUPTIONS)
+    def test_rejects_each_corruption(self, clean_file, mode):
+        path, _ = clean_file
+        bad = FaultPlan(seed=3).corrupt_trace_file(path, mode)
+        with pytest.raises(TraceFormatError) as excinfo:
+            load_trace(bad)
+        err = excinfo.value
+        assert isinstance(err, ValueError)
+        assert err.line_number is not None
+        assert f"{bad}:{err.line_number}" in str(err)
+
+    def test_truncated_slice_file_breaks_invariant(self, slice_file):
+        bad = truncate_breaking_invariant(slice_file)
+        with pytest.raises(TraceFormatError, match="not a multiple"):
+            load_trace(bad)
+
+    def test_missing_header_defaults_still_apply(self, tmp_path):
+        path = tmp_path / "plain.dat"
+        path.write_text("100\n200\n300\n")
+        trace = load_trace(path)
+        assert trace.frame_rate == 24.0
+
+    def test_malformed_header_value(self, tmp_path):
+        path = tmp_path / "badheader.dat"
+        path.write_text("# frame_rate fast\n100\n200\n")
+        with pytest.raises(TraceFormatError, match="frame_rate"):
+            load_trace(path)
+
+    def test_empty_file(self, tmp_path):
+        path = tmp_path / "empty.dat"
+        path.write_text("")
+        with pytest.raises(TraceFormatError, match="no data lines"):
+            load_trace(path)
+
+    def test_crlf_line_endings_accepted(self, tmp_path):
+        path = tmp_path / "crlf.dat"
+        path.write_bytes(b"100\r\n200\r\n300\r\n")
+        np.testing.assert_array_equal(load_trace(path).frame_bytes, [100, 200, 300])
+
+    def test_errors_kwarg_validated(self, clean_file):
+        path, _ = clean_file
+        with pytest.raises(ValueError, match="strict.*lenient"):
+            load_trace(path, errors="forgiving")
+
+
+class TestLenient:
+    @pytest.mark.parametrize("mode", LINE_CORRUPTIONS)
+    def test_repairs_each_corruption(self, clean_file, mode):
+        path, frames = clean_file
+        plan = FaultPlan(seed=7)
+        bad = plan.corrupt_trace_file(path, mode)
+        trace, report = load_trace_lenient(bad)
+        assert trace.n_frames == frames.size
+        assert np.isfinite(trace.frame_bytes).all()
+        assert (trace.frame_bytes >= 0).all()
+        assert len(report.bad_lines) == 1
+        assert report.repaired == 1
+        assert not report.is_clean
+        # The repaired value interpolates its neighbours, so all the
+        # untouched frames survive exactly.
+        victim_line = plan.injected[0].call_index
+        victim = victim_line - 4  # three header lines precede the data
+        untouched = np.delete(np.arange(frames.size), victim)
+        np.testing.assert_array_equal(
+            trace.frame_bytes[untouched], frames[untouched]
+        )
+
+    def test_repair_interpolates_between_neighbours(self, tmp_path):
+        path = tmp_path / "gap.dat"
+        path.write_text("100\nnan\n300\n")
+        trace, report = load_trace_lenient(path)
+        np.testing.assert_allclose(trace.frame_bytes, [100.0, 200.0, 300.0])
+        assert report.bad_lines[0].reason == "NaN count"
+
+    def test_truncated_slice_file_drops_partial_frame(self, slice_file):
+        bad = truncate_breaking_invariant(slice_file)
+        trace, report = load_trace_lenient(bad)
+        assert report.dropped_trailing > 0
+        assert trace.has_slice_data
+        assert trace.slice_bytes.size % trace.slices_per_frame == 0
+
+    def test_budget_exhaustion_raises(self, tmp_path):
+        path = tmp_path / "swisscheese.dat"
+        path.write_text("\n".join(["100", "oops"] * 20) + "\n")
+        with pytest.raises(TraceFormatError, match="repair budget"):
+            load_trace_lenient(path, repair_budget=5)
+
+    def test_all_bad_lines_raises(self, tmp_path):
+        path = tmp_path / "hopeless.dat"
+        path.write_text("x\ny\nz\n")
+        with pytest.raises(TraceFormatError, match="no usable data"):
+            load_trace_lenient(path)
+
+    def test_errors_lenient_kwarg(self, clean_file):
+        path, frames = clean_file
+        bad = FaultPlan(seed=8).corrupt_trace_file(path, "garbage")
+        trace = load_trace(bad, errors="lenient")
+        assert trace.n_frames == frames.size
+        assert trace.repair_report.repaired == 1
+
+    def test_report_summary_lines(self, clean_file):
+        path, _ = clean_file
+        bad = FaultPlan(seed=9).corrupt_trace_file(path, "negative")
+        _, report = load_trace_lenient(bad)
+        text = "\n".join(report.summary_lines())
+        assert "1 bad line(s), 1 repaired" in text
+        assert "negative count" in text
+
+    def test_clean_file_reports_clean(self, clean_file):
+        path, frames = clean_file
+        trace, report = load_trace_lenient(path)
+        assert report.is_clean
+        np.testing.assert_array_equal(trace.frame_bytes, frames)

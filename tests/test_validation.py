@@ -130,3 +130,44 @@ class TestAs1DFloatArray:
     def test_min_length(self):
         with pytest.raises(ValueError):
             as_1d_float_array([1.0, 2.0], min_length=3)
+
+
+class TestUniformHurstBounds:
+    """All three fGn/fARIMA generators validate H through the shared
+    require_in_open_interval helper, so out-of-range values produce the
+    same message shape everywhere."""
+
+    def generators(self):
+        from repro.core.daviesharte import DaviesHarteGenerator
+        from repro.core.hosking import HoskingGenerator
+        from repro.core.paxson import PaxsonGenerator
+
+        return (DaviesHarteGenerator, HoskingGenerator, PaxsonGenerator)
+
+    @pytest.mark.parametrize("bad", [0.0, 1.0, -0.3, 1.7])
+    def test_out_of_range_hurst_uniform_message(self, bad):
+        for gen in self.generators():
+            with pytest.raises(
+                ValueError, match=r"hurst must lie in the open interval \(0.0, 1.0\)"
+            ):
+                gen(hurst=bad)
+
+    @pytest.mark.parametrize("bad", ["0.8", True])
+    def test_non_numeric_hurst_raises_typeerror(self, bad):
+        for gen in self.generators():
+            with pytest.raises(TypeError, match="hurst must be a real number"):
+                gen(hurst=bad)
+
+    def test_hosking_d_bounds(self):
+        from repro.core.hosking import HoskingGenerator
+
+        with pytest.raises(
+            ValueError, match=r"d must lie in the open interval \(-0.5, 0.5\)"
+        ):
+            HoskingGenerator(d=0.5)
+        assert HoskingGenerator(d=0.25).hurst == pytest.approx(0.75)
+
+    def test_boundary_interior_accepted(self):
+        for gen in self.generators():
+            assert gen(hurst=1e-6).hurst == pytest.approx(1e-6)
+            assert gen(hurst=1 - 1e-6).hurst == pytest.approx(1 - 1e-6)
