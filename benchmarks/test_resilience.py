@@ -11,7 +11,7 @@ repo root, mirroring ``BENCH_stream.json``.
 
 from __future__ import annotations
 
-import json
+import os
 import time
 from pathlib import Path
 
@@ -19,26 +19,25 @@ import pytest
 
 from repro.experiments.data import reference_trace
 from repro.experiments.runner import experiment_specs
+from repro.obs.bench import write_bench
 from repro.resilience.faults import reach
 from repro.resilience.runner import run_campaign
 
 REPO_ROOT = Path(__file__).resolve().parents[1]
 
-_RESULTS = {}
+_ENTRIES = []
 
 
 @pytest.fixture(scope="session", autouse=True)
 def _record_bench():
-    """Write recorded timings to BENCH_resilience.json after the run."""
+    """Merge recorded timings into BENCH_resilience.json after the run."""
     yield
-    if not _RESULTS:
+    if not _ENTRIES:
         return
-    path = REPO_ROOT / "BENCH_resilience.json"
-    existing = {}
-    if path.exists():
-        existing = json.loads(path.read_text())
-    existing.update(_RESULTS)
-    path.write_text(json.dumps(existing, indent=2, sort_keys=True) + "\n")
+    write_bench(
+        REPO_ROOT / "BENCH_resilience.json", _ENTRIES,
+        generated_at=os.environ.get("BENCH_TIMESTAMP"),
+    )
 
 
 @pytest.fixture(scope="module")
@@ -71,11 +70,17 @@ class TestCheckpointOverhead:
             _timed_campaign(quick_specs, checkpoint_dir=tmp_path / "b", resume=False),
         )
         overhead = checkpointed / plain - 1.0
-        _RESULTS["quick_campaign_checkpoint_overhead"] = {
-            "plain_seconds": round(plain, 3),
-            "checkpointed_seconds": round(checkpointed, 3),
-            "overhead_fraction": round(overhead, 4),
-        }
+        _ENTRIES.append({
+            "name": "quick_campaign_checkpoint_overhead",
+            "value": round(overhead, 4),
+            "unit": "fraction",
+            "higher_is_better": False,
+            "budget": 0.05,
+            "context": {
+                "plain_seconds": round(plain, 3),
+                "checkpointed_seconds": round(checkpointed, 3),
+            },
+        })
         assert overhead < 0.05, (
             f"checkpointing cost {overhead:.1%} on the quick campaign "
             f"({plain:.2f}s -> {checkpointed:.2f}s)"
@@ -90,11 +95,17 @@ class TestCheckpointOverhead:
         report = run_campaign(quick_specs, checkpoint_dir=ckpt, resume=True)
         resumed = time.perf_counter() - start
         assert report.ok and len(report.resumed) == 21
-        _RESULTS["quick_campaign_resume"] = {
-            "full_seconds": round(full, 3),
-            "resumed_seconds": round(resumed, 3),
-            "speedup": round(full / resumed, 1),
-        }
+        _ENTRIES.append({
+            "name": "quick_campaign_resume_speedup",
+            "value": round(full / resumed, 1),
+            "unit": "x",
+            "higher_is_better": True,
+            "budget": 2,
+            "context": {
+                "full_seconds": round(full, 3),
+                "resumed_seconds": round(resumed, 3),
+            },
+        })
         assert resumed < 0.5 * full
 
 
@@ -107,5 +118,11 @@ class TestReachOverhead:
         for _ in range(n):
             reach("bench:site")
         per_call_ns = (time.perf_counter() - start) / n * 1e9
-        _RESULTS["idle_reach_ns_per_call"] = round(per_call_ns, 1)
+        _ENTRIES.append({
+            "name": "idle_reach_ns_per_call",
+            "value": round(per_call_ns, 1),
+            "unit": "ns/call",
+            "higher_is_better": False,
+            "budget": 2_000,
+        })
         assert per_call_ns < 2_000  # generous bound; records the real cost

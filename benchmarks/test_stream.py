@@ -14,7 +14,7 @@ millions of samples per second in constant memory.
 
 from __future__ import annotations
 
-import json
+import os
 import time
 import tracemalloc
 from pathlib import Path
@@ -23,6 +23,7 @@ import numpy as np
 import pytest
 
 from repro.distributions.hybrid import GammaParetoHybrid
+from repro.obs.bench import write_bench
 from repro.stream import (
     BlockFGNSource,
     HoskingSource,
@@ -35,34 +36,42 @@ from repro.stream import (
 REPO_ROOT = Path(__file__).resolve().parents[1]
 TARGET = GammaParetoHybrid(27_791.0, 6_254.0, 12.0)
 
-_RESULTS = {}
+_ENTRIES = []
 
 
 @pytest.fixture(scope="session", autouse=True)
 def _record_bench():
-    """Write every recorded rate to BENCH_stream.json after the run."""
+    """Merge every recorded rate into BENCH_stream.json after the run.
+
+    The timestamp comes from the environment (CI passes its pipeline
+    stamp via ``BENCH_TIMESTAMP``); locally it stays null so the file
+    is a pure function of the measurements.
+    """
     yield
-    if not _RESULTS:
+    if not _ENTRIES:
         return
-    path = REPO_ROOT / "BENCH_stream.json"
-    existing = {}
-    if path.exists():
-        existing = json.loads(path.read_text())
-    existing.update(_RESULTS)
-    path.write_text(json.dumps(existing, indent=2, sort_keys=True) + "\n")
+    write_bench(
+        REPO_ROOT / "BENCH_stream.json", _ENTRIES,
+        generated_at=os.environ.get("BENCH_TIMESTAMP"),
+    )
 
 
-def _timed_drain(stream, n, key, extra_folders=()):
+def _timed_drain(stream, n, name, budget=None):
     moments = OnlineMoments()
     start = time.perf_counter()
-    stream.drain(moments, *extra_folders)
+    stream.drain(moments)
     elapsed = time.perf_counter() - start
     assert moments.count == n
-    _RESULTS[key] = {
-        "samples": n,
-        "seconds": round(elapsed, 4),
-        "samples_per_sec": round(n / elapsed),
+    entry = {
+        "name": name,
+        "value": round(n / elapsed),
+        "unit": "samples/s",
+        "higher_is_better": True,
+        "context": {"samples": n, "seconds": round(elapsed, 4)},
     }
+    if budget is not None:
+        entry["budget"] = budget
+    _ENTRIES.append(entry)
     return moments, elapsed
 
 
@@ -73,7 +82,7 @@ class TestBackendThroughput:
         stream = Stream.from_source(src, n, chunk, rng=np.random.default_rng(0)).transform(
             TARGET, method="table"
         )
-        moments, elapsed = _timed_drain(stream, n, "paxson_transformed_1M")
+        moments, elapsed = _timed_drain(stream, n, "paxson_transformed_1m", budget=50_000)
         assert moments.mean == pytest.approx(27_791.0, rel=0.05)
         assert n / elapsed > 50_000  # loose floor; records the real rate
 
@@ -83,7 +92,7 @@ class TestBackendThroughput:
         stream = Stream.from_source(src, n, chunk, rng=np.random.default_rng(1)).transform(
             TARGET, method="table"
         )
-        moments, elapsed = _timed_drain(stream, n, "davies_harte_transformed_1M")
+        moments, elapsed = _timed_drain(stream, n, "davies_harte_transformed_1m")
         assert moments.mean == pytest.approx(27_791.0, rel=0.05)
 
     def test_hosking_transformed(self):
@@ -107,7 +116,7 @@ class TestBackendThroughput:
         stream = ParallelSources(sources).stream(
             n, chunk, rng=np.random.default_rng(3)
         ).transform(TARGET, source=Normal(0.0, 2.0), method="table")
-        moments, _ = _timed_drain(stream, n, "parallel_4_sources_transformed_1M")
+        moments, _ = _timed_drain(stream, n, "parallel_4_sources_transformed_1m")
         assert moments.mean == pytest.approx(27_791.0, rel=0.05)
 
 
@@ -137,10 +146,15 @@ class TestTenMillionBoundedMemory:
         assert peak_mb < 20.0  # full series would be 80 MB
         result = queue.result()
         assert 0.0 < result.loss_rate < 0.1  # a live lossy operating point
-        _RESULTS["ten_million_bounded"] = {
-            "samples": n,
-            "seconds": round(elapsed, 2),
-            "samples_per_sec": round(n / elapsed),
-            "traced_peak_mb": round(peak_mb, 2),
-            "loss_rate": round(result.loss_rate, 6),
-        }
+        _ENTRIES.append({
+            "name": "ten_million_bounded",
+            "value": round(n / elapsed),
+            "unit": "samples/s",
+            "higher_is_better": True,
+            "context": {
+                "samples": n,
+                "seconds": round(elapsed, 2),
+                "traced_peak_mb": round(peak_mb, 2),
+                "loss_rate": round(result.loss_rate, 6),
+            },
+        })

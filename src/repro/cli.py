@@ -8,34 +8,70 @@ Usage (also via ``python -m repro``):
     repro report trace.dat
     repro simulate trace.dat --sources 5 --capacity-mbps 7.0 --buffer-ms 10
     repro stream --samples 10000000 --backend paxson --out frames.npy --stats
+    repro stream --samples 1000000 --profile --run-report run.json
     repro experiments --quick
     repro experiments --quick --checkpoint-dir ckpt --resume --max-retries 2
+    repro experiments --quick --profile fig14
+    repro obs report run.json
+    repro obs export-metrics run.json
+    repro obs bench-diff baseline.json BENCH_obs.json --tolerance 0.2
     repro doctor trace.dat
 
-Every command prints plain text tables; the underlying data comes from
-the same library entry points the examples and benchmarks use.
+Stream discipline: *data products* (tables, summaries, streamed
+samples) go to stdout; *diagnostics* (progress, timings, "wrote ...")
+go through :mod:`repro.obs.log` to stderr, so piping any command's
+stdout stays clean.  ``--log-level``/``--log-json``/``--quiet`` are
+accepted both before and after the subcommand.
 
-Exit status: 0 on success, 1 for internal errors or failed experiments,
-2 for bad user input (missing or malformed trace files).
+Exit status: 0 on success, 1 for internal errors, failed experiments
+or benchmark regressions, 2 for bad user input (missing or malformed
+trace files).
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 
 import numpy as np
 
+from repro.obs import log as obs_log
+
 __all__ = ["main", "build_parser"]
+
+_LOGGER = obs_log.get_logger("cli")
+
+
+def _logging_options():
+    """Shared ``--log-*`` options, accepted before or after the subcommand.
+
+    Defaults are ``SUPPRESS`` so a subparser never clobbers a value the
+    user passed at the top level.
+    """
+    common = argparse.ArgumentParser(add_help=False)
+    group = common.add_argument_group("logging")
+    group.add_argument("--log-level", default=argparse.SUPPRESS,
+                       choices=("DEBUG", "INFO", "WARNING", "ERROR"),
+                       help="diagnostic verbosity on stderr (default INFO)")
+    group.add_argument("--log-json", action="store_true", default=argparse.SUPPRESS,
+                       help="emit diagnostics as one JSON object per line")
+    group.add_argument("--quiet", action="store_true", default=argparse.SUPPRESS,
+                       help="suppress diagnostics below WARNING")
+    return common
 
 
 def build_parser():
     """The argparse parser for the ``repro`` command."""
+    common = _logging_options()
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Self-similar VBR video traffic: analysis, modeling, generation",
+        parents=[common],
     )
-    sub = parser.add_subparsers(dest="command", required=True)
+    sub = parser.add_subparsers(dest="command", required=True, parser_class=(
+        lambda **kw: argparse.ArgumentParser(parents=[common], **kw)
+    ))
 
     p_syn = sub.add_parser("synthesize", help="synthesize a calibrated VBR trace")
     p_syn.add_argument("--frames", type=int, default=20_000)
@@ -88,6 +124,12 @@ def build_parser():
                        help='output .npy file, or "-" for one sample per stdout line')
     p_str.add_argument("--stats", action="store_true",
                        help="fold online moments + streaming Hurst, report on stderr")
+    p_str.add_argument("--profile", action="store_true",
+                       help="trace and meter the run; write a run.json manifest")
+    p_str.add_argument("--run-report", default="run.json", metavar="PATH",
+                       help="manifest path for --profile (default run.json)")
+    p_str.add_argument("--profile-memory", action="store_true",
+                       help="with --profile, also record tracemalloc peaks (slower)")
 
     p_exp = sub.add_parser("experiments", help="run the full reproduction suite")
     p_exp.add_argument("--quick", action="store_true")
@@ -101,6 +143,30 @@ def build_parser():
                        help="per-experiment soft timeout in seconds")
     p_exp.add_argument("--seed", type=int, default=0,
                        help="base seed for per-attempt seed rotation")
+    p_exp.add_argument("--profile", nargs="?", const="", default=None,
+                       metavar="EXPERIMENT",
+                       help="trace and meter the suite (optionally one experiment "
+                            "id, e.g. fig14); writes a run.json manifest")
+    p_exp.add_argument("--run-report", default="run.json", metavar="PATH",
+                       help="manifest path for --profile (default run.json)")
+    p_exp.add_argument("--profile-memory", action="store_true",
+                       help="with --profile, also record tracemalloc peaks (slower)")
+
+    p_obs = sub.add_parser("obs", help="inspect run manifests, metrics and benchmarks")
+    obs_sub = p_obs.add_subparsers(dest="obs_command", required=True)
+    p_obs_rep = obs_sub.add_parser("report", help="pretty-print a run.json manifest")
+    p_obs_rep.add_argument("run_json", help="manifest written by --profile")
+    p_obs_exp = obs_sub.add_parser(
+        "export-metrics", help="re-render a manifest's metrics as Prometheus text"
+    )
+    p_obs_exp.add_argument("run_json", help="manifest written by --profile")
+    p_obs_diff = obs_sub.add_parser(
+        "bench-diff", help="compare two BENCH_*.json files; exit 1 on regression"
+    )
+    p_obs_diff.add_argument("baseline", help="baseline BENCH_*.json")
+    p_obs_diff.add_argument("current", help="current BENCH_*.json")
+    p_obs_diff.add_argument("--tolerance", type=float, default=0.2,
+                            help="relative change treated as a regression (default 0.2)")
 
     p_doc = sub.add_parser("doctor", help="diagnose (and repair-load) a trace file")
     p_doc.add_argument("trace", help="trace file to examine")
@@ -147,8 +213,11 @@ def _cmd_synthesize(args):
             n_frames=args.frames, seed=args.seed, with_slices=args.unit == "slice"
         )
     save_trace(trace, args.out, unit=args.unit)
-    print(f"wrote {args.frames} frames ({args.unit} resolution) to {args.out}")
-    print(f"  {trace}")
+    _LOGGER.info(
+        "wrote %d frames (%s resolution) to %s", args.frames, args.unit, args.out,
+        extra={"frames": args.frames, "unit": args.unit, "out": args.out},
+    )
+    _LOGGER.info("%s", trace)
     return 0
 
 
@@ -217,6 +286,39 @@ def _write_npy_header(fh, n):
 
 
 def _cmd_stream(args):
+    import contextlib
+
+    from repro.obs import report as obs_report
+
+    if args.samples < 1:
+        raise SystemExit("--samples must be >= 1")
+    if args.chunk < 1:
+        raise SystemExit("--chunk must be >= 1")
+
+    profiler = contextlib.nullcontext()
+    if args.profile:
+        profiler = obs_report.profile(
+            "stream",
+            config={
+                "samples": args.samples, "chunk": args.chunk,
+                "backend": args.backend, "hurst": args.hurst,
+                "sources": args.sources, "gaussian": bool(args.gaussian),
+                "table": bool(args.table),
+            },
+            seed=args.seed,
+            path=args.run_report,
+            memory=args.profile_memory,
+            argv=sys.argv[1:],
+        )
+    with profiler:
+        status = _stream_body(args)
+    if args.profile:
+        _LOGGER.info("wrote run report to %s", args.run_report,
+                     extra={"out": args.run_report})
+    return status
+
+
+def _stream_body(args):
     import time
 
     from repro.distributions.hybrid import GammaParetoHybrid
@@ -228,10 +330,6 @@ def _cmd_stream(args):
         make_source,
     )
 
-    if args.samples < 1:
-        raise SystemExit("--samples must be >= 1")
-    if args.chunk < 1:
-        raise SystemExit("--chunk must be >= 1")
     rng = np.random.default_rng(args.seed)
 
     def build_source():
@@ -245,6 +343,7 @@ def _cmd_stream(args):
         stream = pool.stream(args.samples, args.chunk, rng=rng)
     else:
         stream = Stream.from_source(build_source(), args.samples, args.chunk, rng=rng)
+    stream = stream.metered("source")
     if not args.gaussian:
         # The paper's Table 2 frame-level marginal; aggregated sources
         # get the transform per source-equivalent via the N(0, sqrt(N))
@@ -256,7 +355,7 @@ def _cmd_stream(args):
         stream = stream.transform(
             marginal, source=source_law,
             method="table" if args.table else "exact",
-        )
+        ).metered("transform")
     folders = []
     if args.stats:
         moments = OnlineMoments()
@@ -287,57 +386,83 @@ def _cmd_stream(args):
                 fh.write(np.ascontiguousarray(chunk, dtype="<f8").tobytes())
     elapsed = time.perf_counter() - start
 
-    def report(line):
-        print(line, file=sys.stderr if args.out == "-" else sys.stdout)
-
     rate = emitted / elapsed if elapsed > 0 else float("inf")
-    report(
-        f"streamed {emitted} samples ({args.backend}, chunk {args.chunk}) "
-        f"in {elapsed:.2f}s ({rate:,.0f} samples/s)"
+    _LOGGER.info(
+        "streamed %d samples (%s, chunk %d) in %.2fs (%s samples/s)",
+        emitted, args.backend, args.chunk, elapsed, f"{rate:,.0f}",
+        extra={"samples": emitted, "backend": args.backend,
+               "chunk": args.chunk, "wall_s": round(elapsed, 3)},
     )
     if args.out != "-":
-        report(f"wrote {args.out}")
+        _LOGGER.info("wrote %s", args.out, extra={"out": args.out})
     if args.stats:
-        report(
-            f"  mean {moments.mean:.1f}  std {moments.std:.1f}  "
-            f"min {moments.minimum:.1f}  max {moments.maximum:.1f}"
+        _LOGGER.info(
+            "mean %.1f  std %.1f  min %.1f  max %.1f",
+            moments.mean, moments.std, moments.minimum, moments.maximum,
         )
         try:
-            report(f"  variance-time Hurst estimate: {vt.hurst().hurst:.3f}")
+            _LOGGER.info("variance-time Hurst estimate: %.3f", vt.hurst().hurst)
         except ValueError as exc:
-            report(f"  variance-time Hurst estimate unavailable: {exc}")
+            _LOGGER.info("variance-time Hurst estimate unavailable: %s", exc)
     return 0
 
 
 def _cmd_experiments(args):
+    import contextlib
+
     from repro.experiments.runner import run_all, summary_lines
+    from repro.obs import report as obs_report
 
     if args.resume and not args.checkpoint_dir:
         raise SystemExit("--resume requires --checkpoint-dir")
+    only = args.profile if args.profile else None
+    profiler = contextlib.nullcontext()
+    if args.profile is not None:
+        profiler = obs_report.profile(
+            "experiments",
+            config={"quick": bool(args.quick), "only": only,
+                    "checkpoint_dir": args.checkpoint_dir,
+                    "max_retries": args.max_retries,
+                    "timeout_s": args.timeout_s},
+            seed=args.seed,
+            path=args.run_report,
+            memory=args.profile_memory,
+            argv=sys.argv[1:],
+        )
     supervised = (
         args.checkpoint_dir is not None or args.max_retries > 0
         or args.timeout_s is not None
     )
-    if not supervised:
-        results = run_all(quick=args.quick)
+    with profiler:
+        if not supervised:
+            results = run_all(quick=args.quick, only=only)
+            campaign = None
+        else:
+            campaign = run_all(
+                quick=args.quick,
+                only=only,
+                checkpoint_dir=args.checkpoint_dir,
+                resume=args.resume,
+                max_retries=args.max_retries,
+                timeout_s=args.timeout_s,
+                base_seed=args.seed,
+                report=True,
+            )
+            results = campaign.results
+    if only is None and (campaign is None or campaign.ok):
+        # The full-suite comparison table needs every experiment's result.
         for line in summary_lines(results):
             print(line)
-        return 0
-    campaign = run_all(
-        quick=args.quick,
-        checkpoint_dir=args.checkpoint_dir,
-        resume=args.resume,
-        max_retries=args.max_retries,
-        timeout_s=args.timeout_s,
-        base_seed=args.seed,
-        report=True,
-    )
-    if campaign.ok:
-        for line in summary_lines(campaign.results):
+    else:
+        for eid in sorted(results):
+            print(f"completed: {eid}")
+    if campaign is not None:
+        for line in campaign.summary_lines():
             print(line)
-    for line in campaign.summary_lines():
-        print(line)
-    return 0 if campaign.ok else 1
+    if args.profile is not None:
+        _LOGGER.info("wrote run report to %s", args.run_report,
+                     extra={"out": args.run_report})
+    return 0 if campaign is None or campaign.ok else 1
 
 
 def _cmd_doctor(args):
@@ -363,12 +488,15 @@ def _cmd_generate(args):
 
     trace = _load_or_synthesize(args)
     model = VBRVideoModel.fit(trace.frame_bytes)
-    print(f"fitted: {model}")
+    _LOGGER.info("fitted: %s", model)
     synthetic = model.generate_trace(
         args.frames, rng=np.random.default_rng(args.seed), generator="davies-harte"
     )
     save_trace(synthetic, args.out)
-    print(f"wrote {args.frames} generated frames to {args.out}")
+    _LOGGER.info(
+        "wrote %d generated frames to %s", args.frames, args.out,
+        extra={"frames": args.frames, "out": args.out},
+    )
     return 0
 
 
@@ -377,6 +505,53 @@ def _cmd_report(args):
 
     trace = _load_or_synthesize(args)
     print(analyze_trace(trace).format())
+    return 0
+
+
+def _cmd_obs(args):
+    from repro.obs import bench, metrics
+    from repro.obs.report import RunReport
+
+    try:
+        return _obs_body(args, bench, metrics, RunReport)
+    except (ValueError, json.JSONDecodeError) as exc:
+        # A file that is not (or no longer) a valid manifest/bench
+        # document is bad user input, not an internal error.
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+def _obs_body(args, bench, metrics, RunReport):
+    if args.obs_command == "report":
+        doc = RunReport.load(args.run_json)
+        for line in RunReport.format_lines(doc):
+            print(line)
+        return 0
+    if args.obs_command == "export-metrics":
+        doc = RunReport.load(args.run_json)
+        sys.stdout.write(metrics.prometheus_from_dump(doc.get("metrics", {})))
+        return 0
+    # bench-diff
+    baseline = bench.load_bench(args.baseline)
+    current = bench.load_bench(args.current)
+    diff = bench.diff_bench(baseline, current, tolerance=args.tolerance)
+    labels = {"regressions": "REGRESSED", "improved": "improved", "stable": "stable"}
+    for kind, label in labels.items():
+        for row in diff[kind]:
+            print(
+                f"{label}: {row['name']} {row['baseline']:.6g} -> "
+                f"{row['current']:.6g} {row['unit']} "
+                f"({row['relative_change'] * 100:+.1f}%)"
+            )
+    for name in diff["added"]:
+        print(f"added: {name}")
+    for name in diff["removed"]:
+        print(f"removed: {name}")
+    if diff["regressions"]:
+        print(f"{len(diff['regressions'])} regression(s) beyond "
+              f"{args.tolerance * 100:.0f}% tolerance")
+        return 1
+    print("no regressions")
     return 0
 
 
@@ -389,6 +564,7 @@ _COMMANDS = {
     "experiments": _cmd_experiments,
     "generate": _cmd_generate,
     "doctor": _cmd_doctor,
+    "obs": _cmd_obs,
 }
 
 
@@ -402,11 +578,23 @@ def main(argv=None):
     from repro.video.tracefile import TraceFormatError
 
     args = build_parser().parse_args(argv)
+    obs_log.configure(
+        level=getattr(args, "log_level", "INFO"),
+        json_format=getattr(args, "log_json", False),
+        quiet=getattr(args, "quiet", False),
+    )
     try:
         return _COMMANDS[args.command](args)
     except (FileNotFoundError, TraceFormatError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    except BrokenPipeError:
+        # Downstream closed our stdout (e.g. `| head`); park stdout on
+        # devnull so the interpreter's exit-time flush stays silent.
+        import os
+
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 0
 
 
 if __name__ == "__main__":

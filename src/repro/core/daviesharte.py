@@ -20,8 +20,15 @@ import numpy as np
 
 from repro._validation import require_in_open_interval, require_positive, require_positive_int
 from repro.core.fractional import fgn_acf
+from repro.obs import metrics, trace
 
 __all__ = ["DaviesHarteGenerator", "davies_harte_fgn"]
+
+_SAMPLES = metrics.registry().counter(
+    "repro_generator_samples_total",
+    help="Gaussian samples generated, by backend",
+    unit="samples", labels={"generator": "daviesharte"},
+)
 
 
 class DaviesHarteGenerator:
@@ -72,12 +79,16 @@ class DaviesHarteGenerator:
     def generate(self, n, rng=None):
         """Generate an FGN path of length ``n`` (requires ``n >= 2``)."""
         n = require_positive_int(n, "n")
-        if n == 1:
-            if rng is None:
-                rng = np.random.default_rng()
-            return rng.normal(0.0, np.sqrt(self.variance), size=1)
         if rng is None:
             rng = np.random.default_rng()
+        with trace.span("daviesharte.generate", n=n):
+            x = self._generate(n, rng)
+        _SAMPLES.inc(n)
+        return x
+
+    def _generate(self, n, rng):
+        if n == 1:
+            return rng.normal(0.0, np.sqrt(self.variance), size=1)
         sqrt_eig = self._sqrt_eigenvalues(n)
         m = 2 * n
         # Hermitian-symmetric complex Gaussian spectrum V with

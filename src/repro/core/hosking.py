@@ -40,8 +40,15 @@ from repro._validation import (
     require_positive_int,
 )
 from repro.core.fractional import d_from_hurst, farima_acf
+from repro.obs import metrics, trace
 
 __all__ = ["HoskingGenerator", "hosking_farima"]
+
+_SAMPLES = metrics.registry().counter(
+    "repro_generator_samples_total",
+    help="Gaussian samples generated, by backend",
+    unit="samples", labels={"generator": "hosking"},
+)
 
 
 class HoskingGenerator:
@@ -130,6 +137,12 @@ class HoskingGenerator:
             rng = np.random.default_rng()
         k0 = self._n
         total = k0 + n
+        with trace.span("hosking.extend", n=n, total=total):
+            chunk = self._extend(n, rng, k0, total)
+        _SAMPLES.inc(n)
+        return chunk
+
+    def _extend(self, n, rng, k0, total):
         self._extend_acf(total)
         self._grow(total)
         rho = self._rho

@@ -29,8 +29,15 @@ import numpy as np
 from scipy import special
 
 from repro._validation import require_in_open_interval, require_positive, require_positive_int
+from repro.obs import metrics, trace
 
 __all__ = ["PaxsonGenerator", "paxson_fgn", "fgn_spectral_density"]
+
+_SAMPLES = metrics.registry().counter(
+    "repro_generator_samples_total",
+    help="Gaussian samples generated, by backend",
+    unit="samples", labels={"generator": "paxson"},
+)
 
 
 def fgn_spectral_density(lam, hurst):
@@ -110,10 +117,16 @@ class PaxsonGenerator:
         n = require_positive_int(n, "n")
         if rng is None:
             rng = np.random.default_rng()
+        with trace.span("paxson.generate", n=n):
+            x = self._generate(n, rng)
+        _SAMPLES.inc(n)
+        return x
+
+    def _generate(self, n, rng):
         if n == 1:
             return rng.normal(0.0, np.sqrt(self.variance), size=1)
         if n % 2:
-            return self.generate(n + 1, rng=rng)[:n]
+            return self._generate(n + 1, rng)[:n]
         half = n // 2
         sqrt_f, scale = self._sqrt_power(n)
         # Hermitian-symmetric spectrum: interior coefficients are complex

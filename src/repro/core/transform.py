@@ -28,8 +28,15 @@ import numpy as np
 from repro._validation import as_1d_float_array, require_positive_int
 from repro.distributions.base import TabulatedDistribution
 from repro.distributions.normal import Normal
+from repro.obs import metrics, trace
 
 __all__ = ["marginal_transform", "normal_scores"]
+
+_TRANSFORMED = metrics.registry().counter(
+    "repro_transform_samples_total",
+    help="Samples mapped through the marginal transform (eq. 13)",
+    unit="samples",
+)
 
 
 def marginal_transform(x, target, source=None, method="exact", n_table=10_000):
@@ -65,19 +72,25 @@ def marginal_transform(x, target, source=None, method="exact", n_table=10_000):
         source = Normal(float(np.mean(arr)), sd)
     if not isinstance(source, Normal):
         raise TypeError(f"source must be a Normal distribution, got {type(source).__name__}")
-    u = source.cdf(arr)
-    # Guard the open interval: u == 0 or 1 would map to +/- infinity.
-    tiny = np.finfo(float).tiny
-    u = np.clip(u, tiny, 1.0 - np.finfo(float).epsneg)
-    if method == "exact":
-        return np.asarray(target.ppf(u), dtype=float)
-    if method == "table":
-        n_table = require_positive_int(n_table, "n_table")
-        table = TabulatedDistribution.from_distribution(
-            target, n_points=n_table, q_lo=1e-7, q_hi=1.0 - 1.0 / (10.0 * n_table)
-        )
-        return np.asarray(table.ppf(np.clip(u, table._ppf_q[0], table._ppf_q[-1])), dtype=float)
-    raise ValueError(f'method must be "exact" or "table", got {method!r}')
+    with trace.span("transform.marginal", n=arr.size, method=method):
+        u = source.cdf(arr)
+        # Guard the open interval: u == 0 or 1 would map to +/- infinity.
+        tiny = np.finfo(float).tiny
+        u = np.clip(u, tiny, 1.0 - np.finfo(float).epsneg)
+        if method == "exact":
+            result = np.asarray(target.ppf(u), dtype=float)
+        elif method == "table":
+            n_table = require_positive_int(n_table, "n_table")
+            table = TabulatedDistribution.from_distribution(
+                target, n_points=n_table, q_lo=1e-7, q_hi=1.0 - 1.0 / (10.0 * n_table)
+            )
+            result = np.asarray(
+                table.ppf(np.clip(u, table._ppf_q[0], table._ppf_q[-1])), dtype=float
+            )
+        else:
+            raise ValueError(f'method must be "exact" or "table", got {method!r}')
+    _TRANSFORMED.inc(arr.size)
+    return result
 
 
 def normal_scores(data):

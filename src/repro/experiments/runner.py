@@ -38,9 +38,12 @@ from repro.experiments import (
     table3,
 )
 from repro.experiments.data import reference_trace
+from repro.obs import log as obs_log
 from repro.resilience.runner import ExperimentSpec, run_campaign
 
 __all__ = ["experiment_specs", "campaign_manifest", "run_all", "summary_lines"]
+
+_LOGGER = obs_log.get_logger("experiments")
 
 
 def experiment_specs(trace, quick=False, sim_frames=None):
@@ -107,9 +110,10 @@ def campaign_manifest(trace, quick, sim_frames):
     }
 
 
-def run_all(trace=None, quick=False, sim_frames=None, *, checkpoint_dir=None,
-            resume=True, max_retries=0, timeout_s=None, base_seed=0,
-            fault_plan=None, report=False, sleep=None, on_event=None):
+def run_all(trace=None, quick=False, sim_frames=None, *, only=None,
+            checkpoint_dir=None, resume=True, max_retries=0, timeout_s=None,
+            base_seed=0, fault_plan=None, report=False, sleep=None,
+            on_event=None):
     """Execute every experiment; returns ``{experiment_id: result}``.
 
     ``quick=True`` truncates the trace to 40,000 frames and shrinks the
@@ -132,10 +136,29 @@ def run_all(trace=None, quick=False, sim_frames=None, *, checkpoint_dir=None,
     - ``report=True``: return the full
       :class:`~repro.resilience.runner.CampaignReport` instead of the
       bare results dict.
+
+    ``only`` restricts the suite to the named experiment id(s) -- a
+    single id string or an iterable of ids -- keeping their declared
+    order.  Used by ``repro experiments --profile fig14`` to profile
+    one experiment without paying for the other twenty.
     """
     if trace is None:
         trace = reference_trace(n_frames=40_000 if quick else 171_000)
     specs = experiment_specs(trace, quick=quick, sim_frames=sim_frames)
+    if only is not None:
+        wanted = {only} if isinstance(only, str) else set(only)
+        known = {spec.experiment_id for spec in specs}
+        missing = sorted(wanted - known)
+        if missing:
+            raise ValueError(
+                f"unknown experiment id(s) {missing}; known: {sorted(known)}"
+            )
+        specs = [spec for spec in specs if spec.experiment_id in wanted]
+    _LOGGER.info(
+        "running %d experiment(s) (quick=%s, sim_frames=%s, n_frames=%d)",
+        len(specs), quick, sim_frames, trace.n_frames,
+        extra={"experiments": len(specs), "quick": bool(quick)},
+    )
     supervised = (
         checkpoint_dir is not None or max_retries > 0 or timeout_s is not None
         or fault_plan is not None or report

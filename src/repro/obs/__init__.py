@@ -1,0 +1,92 @@
+"""Observability: structured tracing, metrics, logging and run reports.
+
+The paper's pipeline (fARIMA generation -> Gamma/Pareto transform ->
+N-source FIFO multiplexing) runs here as long streamed campaigns; this
+package is the measurement layer that says where the time, memory and
+samples went:
+
+- :mod:`repro.obs.trace` -- nestable spans recording wall time, CPU
+  time and peak traced memory into a thread-safe in-process collector;
+- :mod:`repro.obs.metrics` -- counters / gauges / histograms with
+  Prometheus-text and JSON exporters;
+- :mod:`repro.obs.log` -- structured stdlib logging (JSON or human
+  formatter, stderr-only) for every diagnostic the package emits;
+- :mod:`repro.obs.report` -- the ``run.json`` manifest (config, seeds,
+  git rev, span tree, metric dump) written by profiled runs;
+- :mod:`repro.obs.bench` -- the shared ``BENCH_*.json`` schema and the
+  regression differ the nightly CI gate runs.
+
+The whole layer sits behind one global switch: :func:`enable` /
+:func:`disable` (or the :func:`enabled` scoped context manager).  While
+disabled -- the default -- every instrumentation site reduces to a
+single flag read, so the hot loops carry their probes permanently at
+sub-percent cost.
+"""
+
+from __future__ import annotations
+
+import contextlib
+
+from repro.obs import _state
+from repro.obs.bench import (
+    BENCH_SCHEMA,
+    diff_bench,
+    load_bench,
+    make_bench,
+    validate_bench,
+    write_bench,
+)
+from repro.obs.log import configure as configure_logging
+from repro.obs.log import get_logger
+from repro.obs.metrics import MetricsRegistry, parse_prometheus_text, registry
+from repro.obs.report import RunReport, profile
+from repro.obs.trace import aggregate, span, snapshot
+
+__all__ = [
+    "BENCH_SCHEMA",
+    "MetricsRegistry",
+    "RunReport",
+    "aggregate",
+    "configure_logging",
+    "diff_bench",
+    "disable",
+    "enable",
+    "enabled",
+    "get_logger",
+    "is_enabled",
+    "load_bench",
+    "make_bench",
+    "parse_prometheus_text",
+    "profile",
+    "registry",
+    "snapshot",
+    "span",
+    "validate_bench",
+    "write_bench",
+]
+
+
+def enable():
+    """Turn the observability layer on (spans and metrics record)."""
+    _state.enabled = True
+
+
+def disable():
+    """Turn the observability layer off (probes become flag reads)."""
+    _state.enabled = False
+
+
+def is_enabled():
+    """Whether spans and metrics are currently recording."""
+    return _state.enabled
+
+
+@contextlib.contextmanager
+def enabled():
+    """Scoped :func:`enable`: restores the previous state on exit."""
+    previous = _state.enabled
+    _state.enabled = True
+    try:
+        yield
+    finally:
+        _state.enabled = previous

@@ -1,0 +1,14 @@
+"""Shared on/off switch for the observability layer.
+
+Both :mod:`repro.obs.trace` and :mod:`repro.obs.metrics` gate their hot
+paths on this single module-level flag, so disabling observability is
+one attribute read per instrumentation site -- cheap enough to leave
+the instrumentation compiled into every hot loop permanently.  The flag
+lives in its own module to keep the import graph acyclic (trace,
+metrics and report all need it).
+"""
+
+from __future__ import annotations
+
+enabled = False
+"""Global observability switch; flip via :func:`repro.obs.enable`."""

@@ -1,0 +1,221 @@
+"""One schema for every ``BENCH_*.json`` file, plus regression diffing.
+
+The repo's benchmark artifacts had drifted into per-file ad-hoc shapes
+(nested dicts of unlabeled numbers); this module pins them all to one
+schema so CI can validate, compare and gate on them uniformly:
+
+.. code-block:: json
+
+    {
+      "schema": "repro-bench/1",
+      "generated_at": "2026-08-05T00:00:00Z",
+      "benchmarks": [
+        {
+          "name": "paxson_transformed_1M",
+          "value": 5020502,
+          "unit": "samples/s",
+          "higher_is_better": true,
+          "budget": 50000,
+          "context": {"samples": 1000000, "seconds": 0.1992}
+        }
+      ]
+    }
+
+Rules:
+
+- ``name`` is a unique ``[a-z0-9_]`` identifier; entries sort by name.
+- ``value`` is the single number being tracked; anything auxiliary
+  (sample counts, raw seconds) goes in ``context``.
+- ``higher_is_better`` fixes the regression direction; ``budget`` is
+  an optional hard floor (when higher is better) or ceiling (when
+  lower is better) that :func:`validate_bench` enforces.
+- ``generated_at`` is **passed in** by the caller (CI passes a
+  pipeline timestamp); nothing in this module reads the clock, so
+  regenerating a benchmark file is reproducible byte-for-byte.
+
+:func:`diff_bench` compares two documents and reports entries whose
+value moved in the *worse* direction by more than a tolerance -- the
+nightly CI gate fails on >20% regressions against the committed
+baseline.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from pathlib import Path
+
+__all__ = [
+    "BENCH_SCHEMA",
+    "make_bench",
+    "validate_bench",
+    "load_bench",
+    "write_bench",
+    "diff_bench",
+]
+
+BENCH_SCHEMA = "repro-bench/1"
+"""Schema tag carried by every BENCH_*.json document."""
+
+_NAME_RE = re.compile(r"^[a-z][a-z0-9_]*$")
+
+_REQUIRED = ("name", "value", "unit", "higher_is_better")
+_ALLOWED = set(_REQUIRED) | {"budget", "context"}
+
+
+def make_bench(entries, generated_at=None):
+    """Assemble a schema-valid document from entry dicts.
+
+    ``generated_at`` must be supplied by the caller (an ISO-8601 string
+    or ``None``); the document is otherwise a pure function of
+    ``entries``, sorted by name.
+    """
+    doc = {
+        "schema": BENCH_SCHEMA,
+        "generated_at": generated_at,
+        "benchmarks": sorted(
+            (dict(entry) for entry in entries), key=lambda e: e.get("name", "")
+        ),
+    }
+    validate_bench(doc)
+    return doc
+
+
+def validate_bench(doc):
+    """Validate a document against the schema; raises ``ValueError``.
+
+    Checks the schema tag, entry fields/types, name uniqueness and --
+    when a ``budget`` is present -- that the recorded value meets it,
+    so a benchmark artifact can never quietly record a broken run.
+    Returns the document for chaining.
+    """
+    if not isinstance(doc, dict):
+        raise ValueError(f"bench document must be an object, got {type(doc).__name__}")
+    if doc.get("schema") != BENCH_SCHEMA:
+        raise ValueError(
+            f"bench schema must be {BENCH_SCHEMA!r}, got {doc.get('schema')!r}"
+        )
+    if "generated_at" not in doc:
+        raise ValueError("bench document must carry generated_at (may be null)")
+    stamp = doc["generated_at"]
+    if stamp is not None and not isinstance(stamp, str):
+        raise ValueError(f"generated_at must be a string or null, got {stamp!r}")
+    entries = doc.get("benchmarks")
+    if not isinstance(entries, list) or not entries:
+        raise ValueError("benchmarks must be a non-empty list")
+    seen = set()
+    for entry in entries:
+        if not isinstance(entry, dict):
+            raise ValueError(f"benchmark entry must be an object, got {entry!r}")
+        missing = [key for key in _REQUIRED if key not in entry]
+        if missing:
+            raise ValueError(f"benchmark entry {entry.get('name')!r} missing {missing}")
+        unknown = sorted(set(entry) - _ALLOWED)
+        if unknown:
+            raise ValueError(f"benchmark entry {entry['name']!r} has unknown keys {unknown}")
+        name = entry["name"]
+        if not isinstance(name, str) or not _NAME_RE.match(name):
+            raise ValueError(f"benchmark name {name!r} must match [a-z][a-z0-9_]*")
+        if name in seen:
+            raise ValueError(f"duplicate benchmark name {name!r}")
+        seen.add(name)
+        value = entry["value"]
+        if not isinstance(value, (int, float)) or isinstance(value, bool):
+            raise ValueError(f"benchmark {name!r} value must be a number, got {value!r}")
+        if not isinstance(entry["unit"], str) or not entry["unit"]:
+            raise ValueError(f"benchmark {name!r} unit must be a non-empty string")
+        hib = entry["higher_is_better"]
+        if not isinstance(hib, bool):
+            raise ValueError(f"benchmark {name!r} higher_is_better must be a bool")
+        budget = entry.get("budget")
+        if budget is not None:
+            if not isinstance(budget, (int, float)) or isinstance(budget, bool):
+                raise ValueError(f"benchmark {name!r} budget must be a number")
+            if hib and value < budget:
+                raise ValueError(
+                    f"benchmark {name!r} value {value:g} is below its budget floor {budget:g}"
+                )
+            if not hib and value > budget:
+                raise ValueError(
+                    f"benchmark {name!r} value {value:g} exceeds its budget ceiling {budget:g}"
+                )
+        context = entry.get("context")
+        if context is not None and not isinstance(context, dict):
+            raise ValueError(f"benchmark {name!r} context must be an object")
+    return doc
+
+
+def load_bench(path):
+    """Read and validate one BENCH_*.json file."""
+    doc = json.loads(Path(path).read_text())
+    try:
+        validate_bench(doc)
+    except ValueError as exc:
+        raise ValueError(f"{path}: {exc}") from None
+    return doc
+
+
+def write_bench(path, entries, generated_at=None, merge=True):
+    """Write (or merge into) a BENCH file; returns the document.
+
+    With ``merge=True`` entries already in the file survive unless an
+    incoming entry shares their name -- benchmark suites run as
+    separate test classes can each fold their rows into one artifact.
+    """
+    path = Path(path)
+    merged = {}
+    if merge and path.exists():
+        try:
+            for entry in load_bench(path)["benchmarks"]:
+                merged[entry["name"]] = entry
+        except ValueError:
+            merged = {}  # pre-schema file: replace wholesale
+    for entry in entries:
+        merged[entry["name"]] = dict(entry)
+    doc = make_bench(merged.values(), generated_at=generated_at)
+    path.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
+    return doc
+
+
+def diff_bench(baseline, current, tolerance=0.2):
+    """Regressions of ``current`` against ``baseline``.
+
+    An entry regresses when its value moves in the worse direction
+    (per its ``higher_is_better``) by more than ``tolerance`` relative
+    to the baseline magnitude.  Entries present on only one side are
+    reported as ``added``/``removed`` but are not regressions.
+
+    Returns ``{"regressions": [...], "improved": [...], "stable":
+    [...], "added": [...], "removed": [...]}`` where each regression
+    carries name, both values and the relative change.
+    """
+    tolerance = float(tolerance)
+    base = {e["name"]: e for e in baseline["benchmarks"]}
+    cur = {e["name"]: e for e in current["benchmarks"]}
+    out = {"regressions": [], "improved": [], "stable": [],
+           "added": sorted(set(cur) - set(base)),
+           "removed": sorted(set(base) - set(cur))}
+    for name in sorted(set(base) & set(cur)):
+        b, c = base[name], cur[name]
+        b_val, c_val = float(b["value"]), float(c["value"])
+        scale = abs(b_val)
+        if scale == 0.0:
+            # A zero baseline has no relative scale; any worsening at
+            # all beyond the absolute tolerance counts.
+            scale = 1.0
+        change = (c_val - b_val) / scale
+        worse = -change if b["higher_is_better"] else change
+        row = {
+            "name": name,
+            "baseline": b_val,
+            "current": c_val,
+            "unit": b["unit"],
+            "relative_change": round(change, 4),
+        }
+        if worse > tolerance:
+            out["regressions"].append(row)
+        elif worse < -tolerance:
+            out["improved"].append(row)
+        else:
+            out["stable"].append(row)
+    return out

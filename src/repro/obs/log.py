@@ -1,0 +1,158 @@
+"""Structured stdlib-logging setup: JSON or human lines, stderr-only.
+
+The CLI's data products (trace files, ``.npy`` streams, stdout sample
+lines, experiment tables) stay on stdout; everything *about* the run --
+progress, retries, timings, repairs -- goes through loggers under the
+``repro`` namespace and lands on **stderr**, so piping ``repro stream``
+into another tool never mixes diagnostics into the data channel.
+
+Usage::
+
+    from repro.obs.log import get_logger
+    log = get_logger("resilience")
+    log.warning("experiment retry", extra={"experiment": "fig14", "attempt": 2})
+
+Library code just logs; it never configures.  The CLI (or a test)
+calls :func:`configure` once per invocation, which installs a single
+stderr handler on the ``repro`` logger with either the human formatter
+(``HH:MM:SS LEVEL logger: message key=value``) or one-JSON-object-per-
+line.  Unconfigured, records propagate to the root logger as usual, so
+``pytest`` ``caplog`` and host applications see them unchanged and
+stdlib's last-resort handler still surfaces WARNING+ on stderr.
+
+``extra={...}`` fields are rendered as trailing ``key=value`` pairs by
+the human formatter and as top-level JSON fields by the JSON formatter,
+which is what makes the records *structured* rather than interpolated
+prose: a log pipeline can filter on ``experiment`` or ``attempt``
+without regexes.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import sys
+import time
+
+__all__ = [
+    "configure",
+    "get_logger",
+    "HumanFormatter",
+    "JSONFormatter",
+]
+
+ROOT_NAME = "repro"
+
+# Attribute names belonging to LogRecord itself; anything else on a
+# record arrived via extra={...} and is structured payload.
+_RESERVED = set(vars(
+    logging.LogRecord("", 0, "", 0, "", (), None)
+)) | {"message", "asctime", "taskName"}
+
+
+def _extra_fields(record):
+    return {
+        key: value for key, value in record.__dict__.items()
+        if key not in _RESERVED and not key.startswith("_")
+    }
+
+
+class _DynamicStderrHandler(logging.StreamHandler):
+    """StreamHandler that always writes to the *current* ``sys.stderr``.
+
+    Test harnesses (pytest's capsys) swap ``sys.stderr`` per test;
+    resolving the stream at emit time keeps captured output where the
+    harness expects it instead of leaking to the original fd.
+    """
+
+    def __init__(self):
+        logging.Handler.__init__(self)
+
+    @property
+    def stream(self):
+        return sys.stderr
+
+
+class HumanFormatter(logging.Formatter):
+    """``HH:MM:SS LEVEL logger: message key=value ...``"""
+
+    def format(self, record):
+        message = record.getMessage()
+        stamp = time.strftime("%H:%M:%S", time.localtime(record.created))
+        name = record.name
+        if name.startswith(ROOT_NAME + "."):
+            name = name[len(ROOT_NAME) + 1:]
+        extras = _extra_fields(record)
+        tail = "".join(
+            f" {key}={extras[key]}" for key in sorted(extras)
+        )
+        line = f"{stamp} {record.levelname} {name}: {message}{tail}"
+        if record.exc_info:
+            line += "\n" + self.formatException(record.exc_info)
+        return line
+
+
+class JSONFormatter(logging.Formatter):
+    """One JSON object per line: ts, level, logger, msg, extra fields."""
+
+    def format(self, record):
+        doc = {
+            "ts": round(record.created, 3),
+            "level": record.levelname,
+            "logger": record.name,
+            "msg": record.getMessage(),
+        }
+        for key, value in _extra_fields(record).items():
+            try:
+                json.dumps(value)
+            except (TypeError, ValueError):
+                value = repr(value)
+            doc[key] = value
+        if record.exc_info:
+            doc["exc"] = self.formatException(record.exc_info)
+        return json.dumps(doc, sort_keys=False)
+
+
+def get_logger(name=None):
+    """A logger under the ``repro`` namespace (``repro.<name>``)."""
+    if not name:
+        return logging.getLogger(ROOT_NAME)
+    if name.startswith(ROOT_NAME + ".") or name == ROOT_NAME:
+        return logging.getLogger(name)
+    return logging.getLogger(f"{ROOT_NAME}.{name}")
+
+
+def configure(level="INFO", json_format=False, quiet=False):
+    """Install the stderr handler on the ``repro`` logger (idempotent).
+
+    Parameters
+    ----------
+    level:
+        Threshold name or number for diagnostics (default ``INFO``).
+    json_format:
+        Emit one JSON object per line instead of human-readable text.
+    quiet:
+        Raise the threshold to WARNING regardless of ``level`` --
+        routine progress disappears, problems stay visible.
+
+    Returns the configured ``repro`` logger.  Repeated calls replace
+    the handler rather than stacking duplicates, so each CLI ``main()``
+    invocation (and each test) starts from a clean configuration.
+    """
+    logger = logging.getLogger(ROOT_NAME)
+    if isinstance(level, str):
+        level = logging.getLevelName(level.upper())
+        if not isinstance(level, int):
+            raise ValueError(f"unknown log level {level!r}")
+    if quiet:
+        level = max(level, logging.WARNING)
+    for handler in list(logger.handlers):
+        logger.removeHandler(handler)
+    handler = _DynamicStderrHandler()
+    handler.setFormatter(JSONFormatter() if json_format else HumanFormatter())
+    logger.addHandler(handler)
+    logger.setLevel(level)
+    # Propagation stays on: the root logger normally has no handlers
+    # (no double print), while pytest's caplog and host applications
+    # that do configure the root still see every record.
+    return logger

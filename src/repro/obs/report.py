@@ -1,0 +1,210 @@
+"""Run manifests: config, seeds, git rev, span tree and metric dump.
+
+A :class:`RunReport` is the end-of-run artifact every profiled
+experiment or stream writes (``run.json``): enough context to say what
+ran (command, config, seeds, git revision, library versions), what it
+cost (the full span tree plus per-name aggregates) and what it produced
+(the metrics dump).  Future perf PRs diff two of these files instead of
+re-guessing where the time went.
+
+:func:`profile` is the one-liner wrapper::
+
+    with profile("experiments", config={...}, seed=0, path="run.json"):
+        run_all(...)
+
+It enables observability, resets the collectors, optionally starts
+:mod:`tracemalloc` (so spans carry memory peaks), and writes the
+manifest on exit -- including on failure, where the partial span tree
+is exactly the diagnostic wanted.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import json
+import platform
+import subprocess
+import sys
+import time
+import tracemalloc
+from pathlib import Path
+
+from repro.obs import _state, metrics, trace
+
+__all__ = ["RUN_SCHEMA", "RunReport", "profile", "git_revision"]
+
+RUN_SCHEMA = "repro-run/1"
+"""Manifest schema tag; bump when the run.json layout changes."""
+
+
+def git_revision(cwd=None):
+    """The repository's short HEAD revision, or ``None`` outside git."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            cwd=cwd, capture_output=True, text=True, timeout=5,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return None
+    rev = out.stdout.strip()
+    return rev if out.returncode == 0 and rev else None
+
+
+class RunReport:
+    """Collects one run's context and observability artifacts."""
+
+    def __init__(self, command, config=None, seed=None, argv=None):
+        self.command = str(command)
+        self.config = dict(config) if config else {}
+        self.seed = seed
+        self.argv = list(argv) if argv is not None else list(sys.argv[1:])
+        self.started_at = time.time()
+        self.finished_at = None
+        self.error = None
+        self.spans = []
+        self.span_totals = {}
+        self.metrics = {}
+
+    def finish(self, error=None):
+        """Freeze the report: snapshot spans and metrics, stamp the end."""
+        self.finished_at = time.time()
+        self.error = error
+        self.spans = trace.snapshot()
+        self.span_totals = trace.aggregate(self.spans)
+        self.metrics = metrics.registry().to_dict()
+        return self
+
+    @property
+    def wall_s(self):
+        if self.finished_at is None:
+            return None
+        return self.finished_at - self.started_at
+
+    def to_dict(self):
+        import numpy
+
+        return {
+            "schema": RUN_SCHEMA,
+            "command": self.command,
+            "argv": self.argv,
+            "config": self.config,
+            "seed": self.seed,
+            "git_rev": git_revision(),
+            "python": platform.python_version(),
+            "numpy": numpy.__version__,
+            "started_at": self.started_at,
+            "finished_at": self.finished_at,
+            "wall_s": round(self.wall_s, 4) if self.wall_s is not None else None,
+            "error": self.error,
+            "span_totals": self.span_totals,
+            "spans": self.spans,
+            "metrics": self.metrics,
+        }
+
+    def write(self, path):
+        """Write the manifest as ``run.json``; returns the path."""
+        path = Path(path)
+        path.write_text(json.dumps(self.to_dict(), indent=2) + "\n")
+        return path
+
+    # ------------------------------------------------------------------
+    # Reading side (repro obs report)
+    # ------------------------------------------------------------------
+    @staticmethod
+    def load(path):
+        """Load a manifest dict, checking the schema tag."""
+        doc = json.loads(Path(path).read_text())
+        if doc.get("schema") != RUN_SCHEMA:
+            raise ValueError(
+                f"{path}: not a {RUN_SCHEMA} manifest (schema={doc.get('schema')!r})"
+            )
+        return doc
+
+    @staticmethod
+    def format_lines(doc, max_depth=None):
+        """Pretty-print a loaded manifest for the terminal."""
+        lines = [f"run: {doc['command']}  ({doc.get('git_rev') or 'no git rev'})"]
+        if doc.get("argv"):
+            lines.append(f"  argv: {' '.join(doc['argv'])}")
+        if doc.get("config"):
+            cfg = "  ".join(f"{k}={v}" for k, v in sorted(doc["config"].items()))
+            lines.append(f"  config: {cfg}")
+        if doc.get("seed") is not None:
+            lines.append(f"  seed: {doc['seed']}")
+        wall = doc.get("wall_s")
+        status = f"FAILED ({doc['error']})" if doc.get("error") else "ok"
+        lines.append(
+            f"  wall: {wall:.2f}s  status: {status}" if wall is not None
+            else f"  status: {status}"
+        )
+        totals = doc.get("span_totals") or {}
+        if totals:
+            lines.append("span totals (by wall time):")
+            name_w = max(len(name) for name in totals)
+            for name, stat in totals.items():
+                lines.append(
+                    f"  {name:<{name_w}}  n={stat['count']:<6} "
+                    f"wall {stat['wall_s']:.4f}s  cpu {stat['cpu_s']:.4f}s"
+                    + (f"  mem {stat['mem_peak_kb']:.0f}kB"
+                       if stat.get("mem_peak_kb") else "")
+                    + (f"  errors={stat['errors']}" if stat.get("errors") else "")
+                )
+        if doc.get("spans"):
+            lines.append("span tree:")
+            lines.extend(
+                "  " + line
+                for line in trace.format_span_tree(doc["spans"], max_depth=max_depth)
+            )
+        metric_dump = doc.get("metrics") or {}
+        if metric_dump:
+            lines.append("metrics:")
+            for key, m in metric_dump.items():
+                if m["type"] == "histogram":
+                    lines.append(
+                        f"  {key} [{m['type']}] count={m['count']} sum={m['sum']:g}"
+                    )
+                else:
+                    lines.append(f"  {key} [{m['type']}] {m['value']:g}"
+                                 + (f" {m['unit']}" if m.get("unit") else ""))
+        return lines
+
+
+@contextlib.contextmanager
+def profile(command, config=None, seed=None, path="run.json", memory=False,
+            argv=None):
+    """Run a block under full observability and write ``run.json``.
+
+    Enables the global switch, clears the span and metric collectors so
+    the manifest covers exactly this block, optionally starts
+    :mod:`tracemalloc` (``memory=True``; spans then record peak
+    allocations at a measurable slowdown), and writes the manifest on
+    the way out -- on failure too, with the exception recorded in
+    ``error``.  Restores the previous enabled/tracing state afterwards.
+
+    Yields the :class:`RunReport` so the caller can add config late.
+    """
+    from repro import obs
+
+    report = RunReport(command, config=config, seed=seed, argv=argv)
+    was_enabled = _state.enabled
+    started_tracemalloc = False
+    if memory and not tracemalloc.is_tracing():
+        tracemalloc.start()
+        started_tracemalloc = True
+    obs.enable()
+    trace.reset()
+    metrics.registry().reset()
+    error = None
+    try:
+        yield report
+    except BaseException as exc:
+        error = f"{type(exc).__name__}: {exc}"
+        raise
+    finally:
+        report.finish(error=error)
+        if started_tracemalloc:
+            tracemalloc.stop()
+        if not was_enabled:
+            obs.disable()
+        if path is not None:
+            report.write(path)

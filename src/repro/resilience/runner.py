@@ -43,6 +43,8 @@ import time
 import traceback as traceback_module
 from pathlib import Path
 
+from repro.obs import log as obs_log
+from repro.obs import metrics, trace
 from repro.qa.golden import digests_match, summarize
 from repro.resilience.faults import TransientFault, reach
 
@@ -60,6 +62,20 @@ __all__ = [
 
 CHECKPOINT_VERSION = 1
 """Bump when the checkpoint schema changes (stale checkpoints re-run)."""
+
+_LOGGER = obs_log.get_logger("resilience")
+
+_CHECKPOINT_SAVED = metrics.registry().counter(
+    "repro_checkpoint_bytes_total",
+    help="Checkpoint payload bytes moved, by operation",
+    unit="bytes", labels={"op": "save"},
+)
+
+_CHECKPOINT_LOADED = metrics.registry().counter(
+    "repro_checkpoint_bytes_total",
+    help="Checkpoint payload bytes moved, by operation",
+    unit="bytes", labels={"op": "load"},
+)
 
 TRANSIENT_TYPES = (MemoryError, TimeoutError, OSError, TransientFault, RuntimeError)
 """Exception types retried by default: resource pressure, timeouts and
@@ -233,21 +249,23 @@ class CheckpointStore:
     # Per-experiment checkpoints
     # ------------------------------------------------------------------
     def save(self, experiment_id, result, seed, attempts, wall_time):
-        digest = summarize(result)
-        self._write_atomic(self._payload_path(experiment_id),
-                           pickle.dumps(result, protocol=pickle.HIGHEST_PROTOCOL))
-        meta = {
-            "version": CHECKPOINT_VERSION,
-            "experiment": experiment_id,
-            "seed": int(seed),
-            "attempts": int(attempts),
-            "wall_time": float(wall_time),
-            "digest": digest,
-        }
-        self._write_atomic(
-            self._meta_path(experiment_id),
-            (json.dumps(meta, indent=2, sort_keys=True) + "\n").encode(),
-        )
+        with trace.span("checkpoint.save", experiment=experiment_id):
+            digest = summarize(result)
+            payload = pickle.dumps(result, protocol=pickle.HIGHEST_PROTOCOL)
+            self._write_atomic(self._payload_path(experiment_id), payload)
+            meta = {
+                "version": CHECKPOINT_VERSION,
+                "experiment": experiment_id,
+                "seed": int(seed),
+                "attempts": int(attempts),
+                "wall_time": float(wall_time),
+                "digest": digest,
+            }
+            self._write_atomic(
+                self._meta_path(experiment_id),
+                (json.dumps(meta, indent=2, sort_keys=True) + "\n").encode(),
+            )
+        _CHECKPOINT_SAVED.inc(len(payload))
 
     def load(self, experiment_id):
         """Return ``(result, meta)`` for a verified checkpoint, else ``None``.
@@ -260,19 +278,21 @@ class CheckpointStore:
         payload_path = self._payload_path(experiment_id)
         if not (meta_path.exists() and payload_path.exists()):
             return None
-        try:
-            meta = json.loads(meta_path.read_text())
-            if meta.get("version") != CHECKPOINT_VERSION:
+        with trace.span("checkpoint.load", experiment=experiment_id):
+            try:
+                meta = json.loads(meta_path.read_text())
+                if meta.get("version") != CHECKPOINT_VERSION:
+                    return None
+                payload = payload_path.read_bytes()
+                result = pickle.loads(payload)
+            except Exception:
                 return None
-            with open(payload_path, "rb") as handle:
-                result = pickle.load(handle)
-        except Exception:
-            return None
-        # Round-trip through JSON so stored and fresh digests compare
-        # with identical container/float types.
-        fresh = json.loads(json.dumps(summarize(result)))
-        if not digests_match(meta.get("digest"), fresh, rtol=self.rtol, atol=self.atol):
-            return None
+            # Round-trip through JSON so stored and fresh digests compare
+            # with identical container/float types.
+            fresh = json.loads(json.dumps(summarize(result)))
+            if not digests_match(meta.get("digest"), fresh, rtol=self.rtol, atol=self.atol):
+                return None
+        _CHECKPOINT_LOADED.inc(len(payload))
         return result, meta
 
     def completed(self):
@@ -394,8 +414,9 @@ def run_campaign(specs, *, base_seed=0, max_retries=0, timeout_s=None,
             seed = derive_attempt_seed(base_seed, eid, attempt)
             start = time.perf_counter()
             try:
-                reach(f"experiment:{eid}")
-                result = _call_with_timeout(spec, seed, timeout_s)
+                with trace.span(f"experiment.{eid}", attempt=attempt, seed=seed):
+                    reach(f"experiment:{eid}")
+                    result = _call_with_timeout(spec, seed, timeout_s)
             except (KeyboardInterrupt, SystemExit):
                 raise
             except Exception as exc:
@@ -416,12 +437,33 @@ def run_campaign(specs, *, base_seed=0, max_retries=0, timeout_s=None,
                 )
                 report.attempt_failures.append(failure)
                 if transient and attempt + 1 < attempts_allowed:
+                    # Emitted the moment the attempt fails, not at campaign
+                    # end: a live tail of the log shows the retry as it
+                    # happens, with the experiment and attempt attached.
+                    _LOGGER.warning(
+                        "experiment %s attempt %d/%d failed (%s: %s); retrying",
+                        eid, attempt + 1, attempts_allowed,
+                        failure.error_type, failure.message,
+                        extra={"experiment": eid, "attempt": attempt + 1,
+                               "error_type": failure.error_type,
+                               "timeout": isinstance(exc, TimeoutError),
+                               "wall_s": round(wall, 3)},
+                    )
                     _notify("retry", eid, failure.describe())
                     sleep(min(backoff_base * 2.0 ** attempt, backoff_cap))
                     continue
                 report.failures.append(failure)
                 report.records.append(
                     ExperimentRecord(eid, "failed", attempt + 1, total_wall, seed)
+                )
+                _LOGGER.error(
+                    "experiment %s failed terminally on attempt %d/%d (%s: %s)",
+                    eid, attempt + 1, attempts_allowed,
+                    failure.error_type, failure.message,
+                    extra={"experiment": eid, "attempt": attempt + 1,
+                           "error_type": failure.error_type,
+                           "timeout": isinstance(exc, TimeoutError),
+                           "wall_s": round(wall, 3)},
                 )
                 _notify("failed", eid, failure.describe())
                 if fail_fast:

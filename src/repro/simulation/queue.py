@@ -25,8 +25,23 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro._validation import as_1d_float_array, require_nonnegative, require_positive
+from repro.obs import metrics, trace
 
 __all__ = ["QueueResult", "simulate_queue", "max_backlog", "zero_loss_capacity"]
+
+_BATCH_LABELS = {"queue": "batch"}
+
+_SLOTS = metrics.registry().counter(
+    "repro_queue_slots_total",
+    help="Arrival slots folded through the queue recursion",
+    unit="slots", labels=_BATCH_LABELS,
+)
+
+_LOST = metrics.registry().counter(
+    "repro_queue_lost_bytes_total",
+    help="Bytes dropped at the finite buffer",
+    unit="bytes", labels=_BATCH_LABELS,
+)
 
 
 @dataclass(frozen=True)
@@ -95,30 +110,33 @@ def simulate_queue(arrivals, capacity_per_slot, buffer_bytes, return_series=Fals
     # so the streaming fold (repro.stream.queueing) reproduces every
     # statistic bit-for-bit.
     values = a.tolist()
-    if return_series:
-        for t, arrival in enumerate(values):
-            total += arrival
-            backlog += arrival - c
-            if backlog > q:
-                overflow = backlog - q
-                lost += overflow
-                loss_series[t] = overflow
-                backlog = q
-            elif backlog < 0.0:
-                backlog = 0.0
-            if backlog > peak:
-                peak = backlog
-    else:
-        for arrival in values:
-            total += arrival
-            backlog += arrival - c
-            if backlog > q:
-                lost += backlog - q
-                backlog = q
-            elif backlog < 0.0:
-                backlog = 0.0
-            if backlog > peak:
-                peak = backlog
+    with trace.span("queue.simulate", n=a.size, capacity=c, buffer=q):
+        if return_series:
+            for t, arrival in enumerate(values):
+                total += arrival
+                backlog += arrival - c
+                if backlog > q:
+                    overflow = backlog - q
+                    lost += overflow
+                    loss_series[t] = overflow
+                    backlog = q
+                elif backlog < 0.0:
+                    backlog = 0.0
+                if backlog > peak:
+                    peak = backlog
+        else:
+            for arrival in values:
+                total += arrival
+                backlog += arrival - c
+                if backlog > q:
+                    lost += backlog - q
+                    backlog = q
+                elif backlog < 0.0:
+                    backlog = 0.0
+                if backlog > peak:
+                    peak = backlog
+    _SLOTS.inc(a.size)
+    _LOST.inc(lost)
     return QueueResult(
         capacity_per_slot=c,
         buffer_bytes=q,

@@ -24,10 +24,14 @@ independently multiplexed sources) or the list of per-source chunks.
 from __future__ import annotations
 
 import concurrent.futures
+import time
 
 import numpy as np
 
 from repro._validation import as_1d_float_array, require_positive_int
+from repro.obs import _state
+from repro.obs import log as obs_log
+from repro.obs import metrics
 from repro.stream.transform import StreamingMarginalTransform
 
 __all__ = [
@@ -39,6 +43,49 @@ __all__ = [
 ]
 
 _END = object()
+
+_LOGGER = obs_log.get_logger("stream")
+
+# Per-stage throughput buckets: inter-chunk latency upstream of the
+# metered point, in seconds.
+_STAGE_WAIT_BUCKETS = (
+    1e-5, 1e-4, 1e-3, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 10.0,
+)
+
+
+_RECOVERIES = metrics.registry().counter(
+    "repro_stream_source_recoveries_total",
+    help="Dead parallel sources rebuilt from their recorded seeds",
+    unit="recoveries",
+)
+
+_POOL_GATHER = metrics.registry().histogram(
+    "repro_stream_pool_gather_seconds",
+    help="Wall time for one synchronized step across all parallel sources",
+    unit="seconds", buckets=_STAGE_WAIT_BUCKETS,
+)
+
+
+def _stage_metrics(stage):
+    reg = metrics.registry()
+    return (
+        reg.counter(
+            "repro_stream_chunks_total",
+            help="Chunks that crossed a metered pipeline stage",
+            unit="chunks", labels={"stage": stage},
+        ),
+        reg.counter(
+            "repro_stream_samples_total",
+            help="Samples that crossed a metered pipeline stage",
+            unit="samples", labels={"stage": stage},
+        ),
+        reg.histogram(
+            "repro_stream_stage_wait_seconds",
+            help="Time spent waiting on the upstream stage per chunk",
+            unit="seconds", labels={"stage": stage},
+            buckets=_STAGE_WAIT_BUCKETS,
+        ),
+    )
 
 
 class StreamIntegrityError(ValueError):
@@ -134,6 +181,39 @@ class Stream:
         """Re-slice into chunks of exactly ``chunk_size`` (last may be short)."""
         chunk_size = require_positive_int(chunk_size, "chunk_size")
         return Stream(_rechunk(self._chunks, chunk_size), n=self.n)
+
+    def metered(self, stage):
+        """Meter this point of the pipeline under the stage label ``stage``.
+
+        Chunks pass through unchanged while three metrics accumulate:
+        ``repro_stream_chunks_total`` and ``repro_stream_samples_total``
+        (throughput) plus the ``repro_stream_stage_wait_seconds``
+        histogram, which records how long each ``next()`` on the
+        upstream stage took -- i.e. where the pipeline's time actually
+        goes, stage by stage.  When observability is disabled the
+        chunks stream through at the cost of one flag read per chunk.
+        """
+        chunks_total, samples_total, wait_hist = _stage_metrics(str(stage))
+
+        def _metered(upstream):
+            iterator = iter(upstream)
+            while True:
+                if not _state.enabled:
+                    chunk = next(iterator, _END)
+                    if chunk is _END:
+                        return
+                    yield chunk
+                    continue
+                t0 = time.perf_counter()
+                chunk = next(iterator, _END)
+                if chunk is _END:
+                    return
+                wait_hist.observe(time.perf_counter() - t0)
+                chunks_total.inc()
+                samples_total.inc(np.asarray(chunk).size)
+                yield chunk
+
+        return Stream(_metered(self._chunks), n=self.n)
 
     def guard(self, label="stream"):
         """Fail fast on non-finite chunks, with provenance.
@@ -404,11 +484,20 @@ class ParallelSources:
                 "message": str(exc),
                 "restart": restarts[index],
             })
+            _LOGGER.warning(
+                "recovered source %d after %s: replayed %d chunk(s) (restart %d/%d)",
+                index, type(exc).__name__, delivered[index],
+                restarts[index], max_restarts,
+                extra={"source": index, "error_type": type(exc).__name__,
+                       "after_chunks": delivered[index], "restart": restarts[index]},
+            )
+            _RECOVERIES.inc()
             return replacement
 
         executor = concurrent.futures.ThreadPoolExecutor(max_workers=self.max_workers)
         try:
             while True:
+                step_t0 = time.perf_counter() if _state.enabled else 0.0
                 futures = [executor.submit(next, it, _END) for it in iterators]
                 pieces = []
                 for index, future in enumerate(futures):
@@ -426,6 +515,8 @@ class ParallelSources:
                     if any(piece is not _END for piece in pieces):
                         raise RuntimeError("sources ended at different lengths")
                     return
+                if _state.enabled:
+                    _POOL_GATHER.observe(time.perf_counter() - step_t0)
                 for index, piece in enumerate(pieces):
                     if piece is not _END:
                         delivered[index] += 1

@@ -19,9 +19,32 @@ from __future__ import annotations
 import numpy as np
 
 from repro._validation import require_nonnegative, require_positive
+from repro.obs import metrics
 from repro.simulation.queue import QueueResult
 
 __all__ = ["StreamingQueue", "simulate_queue_stream"]
+
+
+def _queue_metrics(queue_label):
+    reg = metrics.registry()
+    labels = {"queue": queue_label}
+    return (
+        reg.gauge(
+            "repro_queue_backlog_bytes",
+            help="Queue backlog after the most recent chunk (min/max track the chunk grid)",
+            unit="bytes", labels=labels,
+        ),
+        reg.counter(
+            "repro_queue_slots_total",
+            help="Arrival slots folded through the queue recursion",
+            unit="slots", labels=labels,
+        ),
+        reg.counter(
+            "repro_queue_lost_bytes_total",
+            help="Bytes dropped at the finite buffer",
+            unit="bytes", labels=labels,
+        ),
+    )
 
 
 class StreamingQueue:
@@ -55,6 +78,9 @@ class StreamingQueue:
         self._peak = 0.0
         self._total = 0.0
         self._slots = 0
+        self._backlog_gauge, self._slots_counter, self._lost_counter = (
+            _queue_metrics("streaming")
+        )
 
     @property
     def slots_seen(self):
@@ -108,6 +134,9 @@ class StreamingQueue:
         self._peak = peak
         self._total = total
         self._slots += a.size
+        self._backlog_gauge.set(backlog)
+        self._slots_counter.inc(a.size)
+        self._lost_counter.inc(lost - lost_before)
         return lost - lost_before
 
     def result(self):

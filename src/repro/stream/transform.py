@@ -22,8 +22,15 @@ import numpy as np
 from repro._validation import require_positive_int
 from repro.distributions.base import TabulatedDistribution
 from repro.distributions.normal import Normal
+from repro.obs import metrics, trace
 
 __all__ = ["StreamingMarginalTransform", "transform_chunks"]
+
+_TRANSFORMED = metrics.registry().counter(
+    "repro_transform_samples_total",
+    help="Samples mapped through the marginal transform (eq. 13)",
+    unit="samples",
+)
 
 
 class StreamingMarginalTransform:
@@ -68,15 +75,19 @@ class StreamingMarginalTransform:
     def __call__(self, chunk):
         """Transform one chunk; same operations as the batch path."""
         arr = np.asarray(chunk, dtype=float)
-        u = self.source.cdf(arr)
-        tiny = np.finfo(float).tiny
-        u = np.clip(u, tiny, 1.0 - np.finfo(float).epsneg)
-        if self._table is None:
-            return np.asarray(self.target.ppf(u), dtype=float)
-        table = self._table
-        return np.asarray(
-            table.ppf(np.clip(u, table._ppf_q[0], table._ppf_q[-1])), dtype=float
-        )
+        with trace.span("transform.chunk", n=arr.size, method=self.method):
+            u = self.source.cdf(arr)
+            tiny = np.finfo(float).tiny
+            u = np.clip(u, tiny, 1.0 - np.finfo(float).epsneg)
+            if self._table is None:
+                result = np.asarray(self.target.ppf(u), dtype=float)
+            else:
+                table = self._table
+                result = np.asarray(
+                    table.ppf(np.clip(u, table._ppf_q[0], table._ppf_q[-1])), dtype=float
+                )
+        _TRANSFORMED.inc(arr.size)
+        return result
 
     def __repr__(self):
         return (

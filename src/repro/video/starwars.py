@@ -42,10 +42,17 @@ import numpy as np
 from repro._validation import require_in_open_interval, require_positive, require_positive_int
 from repro.core.daviesharte import DaviesHarteGenerator
 from repro.distributions.hybrid import GammaParetoHybrid
+from repro.obs import metrics, trace
 from repro.video.scenes import generate_scene_script
 from repro.video.trace import VBRTrace
 
 __all__ = ["STARWARS_PARAMETERS", "synthesize_starwars_trace"]
+
+_FRAMES = metrics.registry().counter(
+    "repro_video_frames_total",
+    help="Synthesized VBR video frames",
+    unit="frames", labels={"trace": "starwars"},
+)
 
 STARWARS_PARAMETERS = {
     # Table 1 of the paper.
@@ -246,35 +253,38 @@ def synthesize_starwars_trace(
     )
     rng = np.random.default_rng(seed)
 
-    # 1. Scene hierarchy with heavy-tailed durations (alpha = 3 - 2H).
-    alpha = 3.0 - 2.0 * hurst
-    script = generate_scene_script(
-        n_frames,
-        rng=rng,
-        duration_tail_shape=alpha,
-        min_scene_frames=24,
-        arc_weight=arc_weight,
-    )
-    log_levels = np.log(script.frame_levels())
-    sigma_scene = max(float(np.std(log_levels)), 1e-6)
+    with trace.span("starwars.synthesize", n_frames=n_frames, with_slices=with_slices):
+        # 1. Scene hierarchy with heavy-tailed durations (alpha = 3 - 2H).
+        alpha = 3.0 - 2.0 * hurst
+        script = generate_scene_script(
+            n_frames,
+            rng=rng,
+            duration_tail_shape=alpha,
+            min_scene_frames=24,
+            arc_weight=arc_weight,
+        )
+        log_levels = np.log(script.frame_levels())
+        sigma_scene = max(float(np.std(log_levels)), 1e-6)
 
-    # 2. Long-memory background (FGN) and within-scene AR(1) texture.
-    fgn = DaviesHarteGenerator(hurst).generate(n_frames, rng=rng) if n_frames >= 2 else np.zeros(1)
-    ar1 = _ar1_path(n_frames, ar1_phi, rng)
-    z = (
-        log_levels
-        + fgn_weight * sigma_scene * fgn
-        + ar1_weight * sigma_scene * ar1
-        + landmark_scale * _landmark_boosts(n_frames, frame_rate)
-    )
+        # 2. Long-memory background (FGN) and within-scene AR(1) texture.
+        fgn = DaviesHarteGenerator(hurst).generate(n_frames, rng=rng) if n_frames >= 2 else np.zeros(1)
+        ar1 = _ar1_path(n_frames, ar1_phi, rng)
+        z = (
+            log_levels
+            + fgn_weight * sigma_scene * fgn
+            + ar1_weight * sigma_scene * ar1
+            + landmark_scale * _landmark_boosts(n_frames, frame_rate)
+        )
 
-    # 3. Impose the exact Gamma/Pareto marginal through the ranks.
-    marginal = _calibrated_marginal(mean, std, tail_shape)
-    frame_bytes = np.rint(_rank_map(z, marginal))
+        # 3. Impose the exact Gamma/Pareto marginal through the ranks.
+        marginal = _calibrated_marginal(mean, std, tail_shape)
+        with trace.span("transform.rank", n=n_frames):
+            frame_bytes = np.rint(_rank_map(z, marginal))
 
-    slice_bytes = None
-    if with_slices:
-        slice_bytes = _slice_split(frame_bytes, script, slices_per_frame, rng)
+        slice_bytes = None
+        if with_slices:
+            slice_bytes = _slice_split(frame_bytes, script, slices_per_frame, rng)
+    _FRAMES.inc(n_frames)
     return VBRTrace(
         frame_bytes,
         frame_rate=frame_rate,

@@ -1,0 +1,31 @@
+"""Every BENCH_*.json at the repo root must be a valid repro-bench/1
+document with its budgets satisfied.
+
+The benchmark writers (``benchmarks/test_*.py``) and the nightly
+``repro obs bench-diff`` gate both speak this schema; a committed file
+that drifts from it -- wrong shape, bad name, or a recorded value that
+already violates its own budget -- fails here, in the PR gate.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.obs.bench import load_bench
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+BENCH_FILES = sorted(REPO_ROOT.glob("BENCH_*.json"))
+
+
+def test_bench_files_exist():
+    assert BENCH_FILES, "no BENCH_*.json committed at the repo root"
+
+
+@pytest.mark.parametrize("path", BENCH_FILES, ids=lambda p: p.name)
+def test_bench_file_is_valid(path):
+    doc = load_bench(path)  # validates schema, names, and budgets
+    names = [entry["name"] for entry in doc["benchmarks"]]
+    assert names == sorted(names), f"{path.name}: entries not sorted by name"
+    assert len(set(names)) == len(names), f"{path.name}: duplicate entry names"

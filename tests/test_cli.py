@@ -44,7 +44,11 @@ class TestCommands:
 
         trace = load_trace(out)
         assert trace.n_frames == 2000
-        assert "wrote 2000 frames" in capsys.readouterr().out
+        # Diagnostics go through the obs logger to stderr; stdout stays
+        # reserved for data products.
+        captured = capsys.readouterr()
+        assert "wrote 2000 frames" in captured.err
+        assert captured.out == ""
 
     def test_synthesize_slice_unit(self, tmp_path):
         out = tmp_path / "slices.dat"
@@ -126,7 +130,7 @@ class TestStreamCommand:
         x = np.load(out)
         assert x.shape == (20_000,)
         assert np.mean(x) == pytest.approx(27_791, rel=0.1)
-        printed = capsys.readouterr().out
+        printed = capsys.readouterr().err  # diagnostics live on stderr
         assert "streamed 20000 samples" in printed
         assert "mean" in printed
 
@@ -229,7 +233,7 @@ class TestStreamCommandRegressions:
         x = np.load(out)
         om = OnlineMoments()
         om.update(x)
-        printed = capsys.readouterr().out
+        printed = capsys.readouterr().err  # diagnostics live on stderr
         assert om.count == 20_000
         expected = (
             f"mean {om.mean:.1f}  std {om.std:.1f}  "
@@ -248,7 +252,7 @@ class TestStreamCommandRegressions:
             "--seed", "7", "--out", str(out), "--stats",
         ])
         assert code == 0
-        printed = capsys.readouterr().out
+        printed = capsys.readouterr().err  # diagnostics live on stderr
         assert "variance-time Hurst estimate:" in printed
 
 
@@ -315,6 +319,136 @@ class TestDoctorCommand:
         path = self.make_file(tmp_path, "\n".join(["100", "bad"] * 10) + "\n")
         assert main(["doctor", path, "--repair-budget", "3"]) == 2
         assert "unusable" in capsys.readouterr().out
+
+
+class TestLoggingFlags:
+    """Global --log-level/--log-json/--quiet work before or after the
+    subcommand, and diagnostics never leak onto stdout."""
+
+    def test_quiet_before_subcommand_silences_stderr(self, tmp_path, capsys):
+        out = tmp_path / "q.dat"
+        assert main(["--quiet", "synthesize", "--frames", "500",
+                     "--out", str(out)]) == 0
+        captured = capsys.readouterr()
+        assert captured.err == ""
+        assert captured.out == ""
+
+    def test_quiet_after_subcommand(self, tmp_path, capsys):
+        out = tmp_path / "q.dat"
+        assert main(["synthesize", "--frames", "500", "--out", str(out),
+                     "--quiet"]) == 0
+        assert capsys.readouterr().err == ""
+
+    def test_log_json_emits_structured_lines(self, tmp_path, capsys):
+        import json
+
+        out = tmp_path / "j.dat"
+        assert main(["--log-json", "synthesize", "--frames", "500",
+                     "--out", str(out)]) == 0
+        lines = [json.loads(l) for l in capsys.readouterr().err.splitlines()]
+        wrote = [l for l in lines if "wrote" in l["msg"]]
+        assert wrote and wrote[0]["logger"] == "repro.cli"
+        assert wrote[0]["level"] == "INFO"
+
+    def test_log_level_filters(self, tmp_path, capsys):
+        out = tmp_path / "w.dat"
+        assert main(["--log-level", "WARNING", "synthesize", "--frames", "500",
+                     "--out", str(out)]) == 0
+        assert "wrote" not in capsys.readouterr().err
+
+
+class TestObsCommands:
+    def _write_run(self, tmp_path):
+        path = tmp_path / "run.json"
+        from repro.obs import metrics, trace
+        from repro.obs.report import profile
+
+        with profile("unit", config={"n": 5}, seed=1, path=path):
+            with trace.span("work", n=5):
+                metrics.registry().counter("repro_test_cli_total").inc(5)
+        return path
+
+    def test_obs_report_renders_manifest(self, tmp_path, capsys):
+        path = self._write_run(tmp_path)
+        assert main(["obs", "report", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "run: unit" in out
+        assert "span totals" in out
+        assert "work" in out
+        assert "repro_test_cli_total" in out
+
+    def test_obs_export_metrics_prometheus(self, tmp_path, capsys):
+        path = self._write_run(tmp_path)
+        assert main(["obs", "export-metrics", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "# TYPE repro_test_cli_total counter" in out
+        assert "repro_test_cli_total 5" in out
+
+    def test_obs_report_rejects_non_manifest(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text('{"schema": "nope"}')
+        assert main(["obs", "report", str(bad)]) == 2
+        assert "error: " in capsys.readouterr().err
+
+    def test_obs_bench_diff(self, tmp_path, capsys):
+        import json
+
+        from repro.obs.bench import make_bench
+
+        entry = {"name": "rate", "value": 100.0, "unit": "samples/s",
+                 "higher_is_better": True}
+        base = tmp_path / "base.json"
+        cur = tmp_path / "cur.json"
+        base.write_text(json.dumps(make_bench([entry])))
+        cur.write_text(json.dumps(make_bench([dict(entry, value=70.0)])))
+        assert main(["obs", "bench-diff", str(base), str(cur)]) == 1
+        out = capsys.readouterr().out
+        assert "REGRESSED" in out and "rate" in out
+        # Within tolerance: exit 0.
+        cur.write_text(json.dumps(make_bench([dict(entry, value=90.0)])))
+        assert main(["obs", "bench-diff", str(base), str(cur)]) == 0
+
+
+class TestProfileFlags:
+    def test_stream_profile_writes_run_json(self, tmp_path, capsys):
+        out = tmp_path / "s.npy"
+        run = tmp_path / "run.json"
+        code = main([
+            "stream", "--samples", "8192", "--chunk", "2048",
+            "--backend", "paxson", "--block-size", "2048", "--overlap", "128",
+            "--out", str(out), "--profile", "--run-report", str(run),
+        ])
+        assert code == 0
+        from repro.obs.report import RunReport
+
+        doc = RunReport.load(run)
+        assert doc["command"] == "stream"
+        names = {s["name"] for s in doc["spans"]}
+        assert any(n.endswith(".generate") for n in names)
+        # ISSUE acceptance: stage sample counters equal the configured
+        # run length exactly.
+        assert doc["metrics"]['repro_stream_samples_total{stage="source"}'][
+            "value"] == 8192.0
+        assert doc["metrics"]['repro_stream_samples_total{stage="transform"}'][
+            "value"] == 8192.0
+
+    def test_experiments_profile_single_experiment(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        run = tmp_path / "run.json"
+        code = main([
+            "experiments", "--quick",
+            "--profile", "fig14", "--run-report", str(run),
+        ])
+        assert code == 0
+        assert "completed: fig14" in capsys.readouterr().out
+        from repro.obs.report import RunReport
+
+        doc = RunReport.load(run)
+        totals = doc["span_totals"]
+        assert "experiment.fig14" in totals
+        assert "queue.simulate" in totals
+        assert any(name.endswith(".generate") for name in totals)
+        assert any(name.startswith("transform.") for name in totals)
 
 
 class TestExperimentsResilienceFlags:

@@ -77,6 +77,16 @@ class TestExamples:
         assert "true H = 0.800" in out
         assert "strongly LRD" in out
 
+    def test_observed_run(self, tmp_path):
+        run_json = tmp_path / "run.json"
+        out = run_example("observed_run.py", "--samples", "200000",
+                          "--out", str(run_json))
+        assert "drained 200,000 samples" in out
+        assert 'repro_stream_samples_total{stage="source"} = 200000' in out
+        assert 'repro_stream_samples_total{stage="transform"} = 200000' in out
+        assert "schema=repro-run/1" in out
+        assert run_json.exists()
+
     def test_resilient_campaign(self):
         out = run_example("resilient_campaign.py")
         assert "killed" in out

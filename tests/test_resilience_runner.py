@@ -99,6 +99,54 @@ class TestSupervisor:
         assert [f.transient for f in report.attempt_failures] == [True, True]
         assert report.records[0].attempts == 3
 
+    def test_retry_warning_logged_the_moment_it_happens(self, caplog):
+        """A retry must surface as a structured WARNING (experiment id
+        + attempt number) *before* the backoff sleep -- a hung campaign
+        tells you what it is retrying while it happens, not at the end."""
+        import logging
+
+        calls = []
+
+        def flaky(seed):
+            calls.append(seed)
+            if len(calls) < 2:
+                raise TransientFault("not yet")
+            return "done"
+
+        warned_before_sleep = []
+
+        def sleep(seconds):
+            warned_before_sleep.append(any(
+                r.levelno == logging.WARNING and getattr(r, "experiment", None) == "flaky"
+                for r in caplog.records
+            ))
+
+        with caplog.at_level(logging.WARNING, logger="repro.resilience"):
+            report = run_campaign([ExperimentSpec("flaky", flaky)],
+                                  max_retries=1, sleep=sleep)
+        assert report.ok
+        assert warned_before_sleep == [True]
+        record = next(r for r in caplog.records if r.levelno == logging.WARNING)
+        assert record.experiment == "flaky"
+        assert record.attempt == 1
+        assert record.error_type == "TransientFault"
+        assert "retrying" in record.getMessage()
+
+    def test_terminal_failure_logged_as_error(self, caplog):
+        import logging
+
+        def broken(seed):
+            raise ValueError("defect")
+
+        with caplog.at_level(logging.WARNING, logger="repro.resilience"):
+            report = run_campaign([ExperimentSpec("bad", broken)],
+                                  max_retries=2, sleep=lambda s: None)
+        assert not report.ok
+        record = next(r for r in caplog.records if r.levelno == logging.ERROR)
+        assert record.experiment == "bad"
+        assert record.attempt == 1  # deterministic defect: no retries
+        assert "failed terminally" in record.getMessage()
+
     def test_retry_budget_exhausted(self):
         def always(seed):
             raise TransientFault("forever")
