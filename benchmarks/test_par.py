@@ -1,0 +1,192 @@
+"""Parallel-engine benchmarks: what the pool, shards and cache buy.
+
+Recorded — with budgets, so a regression fails ``repro obs bench-diff``
+as well as this suite — in ``BENCH_par.json`` at the repo root:
+
+- the fig14-style Q-C grid sweep speedup at 8 workers vs serial (the
+  issue's >= 3x acceptance bound; only measured on hosts with >= 4
+  cores, since a single-core container timeshares the pool and can
+  only show overhead),
+- warm-vs-cold content-cache speedup for Davies-Harte eigenvalue
+  tables (meaningful on any host),
+- pool dispatch overhead per task and sharded-synthesis throughput,
+  recorded without budgets as capacity-planning context.
+
+Wall-clock comparisons keep each variant's best of several interleaved
+runs and carry the suite's ``statistical_retry`` marker as a noise
+backstop.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.core.daviesharte import DaviesHarteGenerator
+from repro.obs.bench import write_bench
+from repro.par.cache import using
+from repro.par.pool import pool_map
+from repro.par.shard import shard_fgn
+from repro.simulation.qc import qc_curve
+from repro.video.starwars import synthesize_starwars_trace
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+_ENTRIES = []
+
+pytestmark = [
+    pytest.mark.tier2,  # timing-sensitive: nightly, not PR gate
+    pytest.mark.statistical_retry,
+]
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _record_bench():
+    """Merge recorded costs into BENCH_par.json after the run."""
+    yield
+    if not _ENTRIES:
+        return
+    write_bench(
+        REPO_ROOT / "BENCH_par.json", _ENTRIES,
+        generated_at=os.environ.get("BENCH_TIMESTAMP"),
+    )
+
+
+def _noop(item, seed):
+    return item
+
+
+def _qc_sweep(series, workers):
+    start = time.perf_counter()
+    curve = qc_curve(
+        series, 1.0 / 24.0, n_sources=10, target_loss=1e-3,
+        n_points=10, n_lag_draws=4,
+        rng=np.random.default_rng(17), workers=workers,
+    )
+    elapsed = time.perf_counter() - start
+    assert curve.capacity_per_source.size == 10
+    return elapsed, curve
+
+
+class TestGridSpeedup:
+    def test_fig14_qc_grid_speedup_8_workers(self):
+        """ISSUE acceptance: >= 3x on the fig14-style grid at 8 workers.
+
+        Requires real cores; on a 1-2 core host the pool can only
+        timeshare, so the entry is skipped rather than recorded as a
+        false regression.
+        """
+        cores = os.cpu_count() or 1
+        trace = synthesize_starwars_trace(n_frames=30_000, seed=5,
+                                          with_slices=False)
+        series = trace.frame_bytes
+        serial_s, serial_curve = _qc_sweep(series, workers=1)
+        _ENTRIES.append({
+            "name": "fig14_qc_grid_serial_seconds",
+            "value": round(serial_s, 3),
+            "unit": "s",
+            "higher_is_better": False,
+            "context": {"n_frames": 30_000, "n_points": 10, "cores": cores},
+        })
+        if cores < 4:
+            pytest.skip(f"speedup needs >= 4 cores, host has {cores}")
+        parallel_s, parallel_curve = _qc_sweep(series, workers=8)
+        np.testing.assert_array_equal(
+            parallel_curve.buffer_bytes, serial_curve.buffer_bytes
+        )
+        speedup = serial_s / parallel_s
+        _ENTRIES.append({
+            "name": "fig14_qc_grid_speedup_8w",
+            "value": round(speedup, 2),
+            "unit": "x",
+            "higher_is_better": True,
+            "budget": 3.0,
+            "context": {"serial_s": round(serial_s, 3),
+                        "parallel_s": round(parallel_s, 3), "cores": cores},
+        })
+        assert speedup >= 3.0, (
+            f"8-worker fig14 grid speedup {speedup:.2f}x < 3x "
+            f"({serial_s:.2f}s -> {parallel_s:.2f}s)"
+        )
+
+
+class TestCacheSpeedup:
+    def test_daviesharte_warm_cache_speedup(self, tmp_path):
+        """A warm eigenvalue-table hit must beat recomputation by >= 2x
+        (it replaces an O(n log n) FFT with one digest-verified read)."""
+        n, hurst = 2**18, 0.8
+        cold = warm = float("inf")
+        with using(tmp_path):
+            for _ in range(5):
+                for path in sorted(tmp_path.rglob("*.np*")) + sorted(
+                    tmp_path.rglob("*.json")
+                ):
+                    path.unlink()
+                start = time.perf_counter()
+                DaviesHarteGenerator(hurst)._sqrt_eigenvalues(n)
+                cold = min(cold, time.perf_counter() - start)
+                start = time.perf_counter()
+                DaviesHarteGenerator(hurst)._sqrt_eigenvalues(n)
+                warm = min(warm, time.perf_counter() - start)
+        speedup = cold / warm
+        _ENTRIES.append({
+            "name": "daviesharte_eig_cache_speedup",
+            "value": round(speedup, 2),
+            "unit": "x",
+            "higher_is_better": True,
+            "budget": 2.0,
+            "context": {"n": n, "cold_ms": round(cold * 1e3, 2),
+                        "warm_ms": round(warm * 1e3, 2)},
+        })
+        assert speedup >= 2.0, (
+            f"warm cache hit only {speedup:.2f}x faster "
+            f"({cold * 1e3:.1f}ms -> {warm * 1e3:.1f}ms)"
+        )
+
+
+class TestDispatchCosts:
+    def test_pool_dispatch_overhead_per_task(self):
+        """Per-task cost of the parallel machinery on trivial tasks:
+        executor spin-up, pickling, seed derivation and metric merge.
+        Informational (no budget) — it bounds the task granularity
+        below which sharding is not worth it."""
+        tasks = 64
+        best = float("inf")
+        for _ in range(3):
+            start = time.perf_counter()
+            pool_map(_noop, range(tasks), workers=2, base_seed=0)
+            best = min(best, time.perf_counter() - start)
+        per_task_ms = best / tasks * 1e3
+        _ENTRIES.append({
+            "name": "pool_dispatch_ms_per_task",
+            "value": round(per_task_ms, 3),
+            "unit": "ms/task",
+            "higher_is_better": False,
+            "context": {"tasks": tasks, "workers": 2},
+        })
+
+    def test_shard_synthesis_throughput(self):
+        """Sharded paxson throughput at the host's natural width
+        (informational; single-core hosts record the serial rate)."""
+        n = 1_000_000
+        workers = min(4, os.cpu_count() or 1)
+        shard_fgn(65_536, 0.8, seed=0, workers=1)  # warm caches
+        best = float("inf")
+        for _ in range(3):
+            start = time.perf_counter()
+            out = shard_fgn(n, 0.8, seed=3, shard_size=131_072,
+                            overlap=1_024, workers=workers)
+            best = min(best, time.perf_counter() - start)
+        assert out.shape == (n,)
+        _ENTRIES.append({
+            "name": "shard_paxson_samples_per_s",
+            "value": round(n / best),
+            "unit": "samples/s",
+            "higher_is_better": True,
+            "context": {"samples": n, "workers": workers,
+                        "seconds": round(best, 4)},
+        })

@@ -130,6 +130,9 @@ def build_parser():
                        help="manifest path for --profile (default run.json)")
     p_str.add_argument("--profile-memory", action="store_true",
                        help="with --profile, also record tracemalloc peaks (slower)")
+    p_str.add_argument("--cache-dir", default=None, metavar="DIR",
+                       help="content-addressed cache for generator tables "
+                            "(eigenvalues, ACF coefficients)")
 
     p_exp = sub.add_parser("experiments", help="run the full reproduction suite")
     p_exp.add_argument("--quick", action="store_true")
@@ -151,6 +154,12 @@ def build_parser():
                        help="manifest path for --profile (default run.json)")
     p_exp.add_argument("--profile-memory", action="store_true",
                        help="with --profile, also record tracemalloc peaks (slower)")
+    p_exp.add_argument("--workers", type=int, default=1,
+                       help="experiments run concurrently through the supervisor; "
+                            "results are identical at every worker count")
+    p_exp.add_argument("--cache-dir", default=None, metavar="DIR",
+                       help="content-addressed cache for generator tables and "
+                            "synthesized traces (digest-verified on every hit)")
 
     p_obs = sub.add_parser("obs", help="inspect run manifests, metrics and benchmarks")
     obs_sub = p_obs.add_subparsers(dest="obs_command", required=True)
@@ -294,6 +303,7 @@ def _cmd_stream(args):
         raise SystemExit("--samples must be >= 1")
     if args.chunk < 1:
         raise SystemExit("--chunk must be >= 1")
+    _configure_cache(args)
 
     profiler = contextlib.nullcontext()
     if args.profile:
@@ -407,6 +417,16 @@ def _stream_body(args):
     return 0
 
 
+def _configure_cache(args):
+    """Activate the on-disk content cache when ``--cache-dir`` was given."""
+    cache_dir = getattr(args, "cache_dir", None)
+    if cache_dir:
+        from repro.par import cache as par_cache
+
+        par_cache.configure(cache_dir)
+        _LOGGER.info("content cache at %s", cache_dir, extra={"cache_dir": cache_dir})
+
+
 def _cmd_experiments(args):
     import contextlib
 
@@ -415,6 +435,9 @@ def _cmd_experiments(args):
 
     if args.resume and not args.checkpoint_dir:
         raise SystemExit("--resume requires --checkpoint-dir")
+    if args.workers < 1:
+        raise SystemExit("--workers must be >= 1")
+    _configure_cache(args)
     only = args.profile if args.profile else None
     profiler = contextlib.nullcontext()
     if args.profile is not None:
@@ -423,7 +446,8 @@ def _cmd_experiments(args):
             config={"quick": bool(args.quick), "only": only,
                     "checkpoint_dir": args.checkpoint_dir,
                     "max_retries": args.max_retries,
-                    "timeout_s": args.timeout_s},
+                    "timeout_s": args.timeout_s,
+                    "workers": args.workers},
             seed=args.seed,
             path=args.run_report,
             memory=args.profile_memory,
@@ -435,7 +459,7 @@ def _cmd_experiments(args):
     )
     with profiler:
         if not supervised:
-            results = run_all(quick=args.quick, only=only)
+            results = run_all(quick=args.quick, only=only, workers=args.workers)
             campaign = None
         else:
             campaign = run_all(
@@ -447,6 +471,7 @@ def _cmd_experiments(args):
                 timeout_s=args.timeout_s,
                 base_seed=args.seed,
                 report=True,
+                workers=args.workers,
             )
             results = campaign.results
     if only is None and (campaign is None or campaign.ok):

@@ -21,6 +21,7 @@ import numpy as np
 from repro._validation import require_in_open_interval, require_positive, require_positive_int
 from repro.core.fractional import fgn_acf
 from repro.obs import metrics, trace
+from repro.par import cache as _cache
 
 __all__ = ["DaviesHarteGenerator", "davies_harte_fgn"]
 
@@ -58,6 +59,18 @@ class DaviesHarteGenerator:
     def _sqrt_eigenvalues(self, n):
         if self._cached_n == n:
             return self._cached_sqrt_eig
+        # Pure function of (hurst, variance, n); served from the
+        # content cache (when configured) as the exact float64 array.
+        sqrt_eig = _cache.memoized(
+            "daviesharte.sqrt_eig",
+            {"hurst": self.hurst, "variance": self.variance, "n": n},
+            lambda: self._compute_sqrt_eigenvalues(n),
+        )
+        self._cached_n = n
+        self._cached_sqrt_eig = sqrt_eig
+        return sqrt_eig
+
+    def _compute_sqrt_eigenvalues(self, n):
         gamma = fgn_acf(self.hurst, n, variance=self.variance)
         # First row of the 2n x 2n circulant: gamma_0..gamma_n, then the
         # mirror gamma_{n-1}..gamma_1.
@@ -71,10 +84,7 @@ class DaviesHarteGenerator:
                 f"circulant embedding is not non-negative definite (min eigenvalue {min_eig:.3g})"
             )
         eig = np.clip(eig, 0.0, None)
-        sqrt_eig = np.sqrt(eig)
-        self._cached_n = n
-        self._cached_sqrt_eig = sqrt_eig
-        return sqrt_eig
+        return np.sqrt(eig)
 
     def generate(self, n, rng=None):
         """Generate an FGN path of length ``n`` (requires ``n >= 2``)."""

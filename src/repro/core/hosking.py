@@ -41,6 +41,7 @@ from repro._validation import (
 )
 from repro.core.fractional import d_from_hurst, farima_acf
 from repro.obs import metrics, trace
+from repro.par import cache as _cache
 
 __all__ = ["HoskingGenerator", "hosking_farima"]
 
@@ -107,7 +108,14 @@ class HoskingGenerator:
     def _extend_acf(self, upto):
         if upto < self._rho.size:
             return
-        self._rho = farima_acf(self.d, upto)
+        # The cumulative-product table is a pure function of (d, n_lags);
+        # the content cache (when configured) serves the exact float64
+        # array back, so cached and fresh runs are bit-identical.
+        self._rho = _cache.memoized(
+            "hosking.farima_acf",
+            {"d": self.d, "n_lags": upto},
+            lambda: farima_acf(self.d, upto),
+        )
 
     def _grow(self, total):
         """Ensure the history/coefficient buffers hold ``total`` points."""
@@ -150,6 +158,12 @@ class HoskingGenerator:
         phi = self._phi
         v = self._v
         n_prev, d_prev = self._n_prev, self._d_prev
+        # Scratch buffer for the Levinson coefficient update: writing the
+        # reversed-product into preallocated space replaces two fresh
+        # allocations per step (the defensive .copy() of the reversed
+        # view plus the product temporary) with zero, while performing
+        # the same elementwise multiply-then-subtract bit-for-bit.
+        scratch = np.empty(max(total - 1, 1))
         start = k0
         if k0 == 0:
             hist[0] = rng.normal(0.0, np.sqrt(self.variance))
@@ -166,7 +180,8 @@ class HoskingGenerator:
             d_k = d_prev - n_prev * n_prev / d_prev
             phi_kk = n_k / d_k
             if k > 1:
-                phi[: k - 1] -= phi_kk * phi[k - 2 :: -1].copy()
+                np.multiply(phi[k - 2 :: -1], phi_kk, out=scratch[: k - 1])
+                phi[: k - 1] -= scratch[: k - 1]
             phi[k - 1] = phi_kk
             m_k = phi[:k] @ hist[k - 1 :: -1]
             v *= 1.0 - phi_kk * phi_kk

@@ -30,6 +30,7 @@ from scipy import special
 
 from repro._validation import require_in_open_interval, require_positive, require_positive_int
 from repro.obs import metrics, trace
+from repro.par import cache as _cache
 
 __all__ = ["PaxsonGenerator", "paxson_fgn", "fgn_spectral_density"]
 
@@ -96,8 +97,18 @@ class PaxsonGenerator:
         if self._cached_n == n:
             return self._cached_sqrt_power, self._cached_scale
         half = n // 2
-        lam = 2.0 * np.pi * np.arange(1, half + 1) / n
-        f = fgn_spectral_density(lam, self.hurst)
+        # The unit-variance density is a pure function of (hurst, n); the
+        # content cache (when configured) serves the exact float64 array,
+        # and sqrt/scale are re-derived from it identically either way.
+        # variance deliberately stays out of the key so every variance
+        # shares one entry.
+        f = _cache.memoized(
+            "paxson.spectral_density",
+            {"hurst": self.hurst, "n": n},
+            lambda: fgn_spectral_density(
+                2.0 * np.pi * np.arange(1, half + 1) / n, self.hurst
+            ),
+        )
         # E[X_t^2] of the synthesized path is (2 sum_{j<n/2} f_j + f_{n/2}) / n
         # (each interior frequency appears with its conjugate); rescale so
         # the marginal variance is exactly the requested one.

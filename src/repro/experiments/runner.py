@@ -113,7 +113,7 @@ def campaign_manifest(trace, quick, sim_frames):
 def run_all(trace=None, quick=False, sim_frames=None, *, only=None,
             checkpoint_dir=None, resume=True, max_retries=0, timeout_s=None,
             base_seed=0, fault_plan=None, report=False, sleep=None,
-            on_event=None):
+            on_event=None, workers=1):
     """Execute every experiment; returns ``{experiment_id: result}``.
 
     ``quick=True`` truncates the trace to 40,000 frames and shrinks the
@@ -141,6 +141,11 @@ def run_all(trace=None, quick=False, sim_frames=None, *, only=None,
     single id string or an iterable of ids -- keeping their declared
     order.  Used by ``repro experiments --profile fig14`` to profile
     one experiment without paying for the other twenty.
+
+    ``workers`` runs that many experiments concurrently through the
+    supervisor (threads; see :func:`repro.resilience.runner.run_campaign`).
+    Results, records and checkpoint digests are identical at every
+    worker count.
     """
     if trace is None:
         trace = reference_trace(n_frames=40_000 if quick else 171_000)
@@ -172,6 +177,7 @@ def run_all(trace=None, quick=False, sim_frames=None, *, only=None,
         manifest=campaign_manifest(trace, quick, sim_frames),
         fail_fast=not supervised,
         on_event=on_event,
+        workers=workers,
     )
     if sleep is not None:
         kwargs["sleep"] = sleep

@@ -41,6 +41,7 @@ __all__ = [
     "Histogram",
     "MetricsRegistry",
     "registry",
+    "merge_dump",
     "prometheus_from_dump",
     "parse_prometheus_text",
     "DEFAULT_BUCKETS",
@@ -327,6 +328,75 @@ def _fmt(value):
     if value == int(value) and abs(value) < 1e15:
         return str(int(value))
     return repr(value)
+
+
+def merge_dump(dump, into=None):
+    """Fold a child process's :meth:`MetricsRegistry.to_dict` dump into a registry.
+
+    The default registry is process-local: metrics incremented inside a
+    :mod:`repro.par.pool` worker live in the *worker's* copy and die
+    with it.  Workers therefore ship ``registry().to_dict()`` back with
+    each result, and the parent folds the deltas in here so pool-side
+    task counts, cache hits and histograms survive the pool boundary.
+
+    Merge semantics per kind:
+
+    - **counter** -- values add (zero-valued entries are skipped, so a
+      forked child that reset its inherited registry contributes
+      nothing for untouched counters);
+    - **gauge** -- last writer wins for the value, min/max envelopes
+      union; gauges the child never wrote (no ``min`` key) are skipped;
+    - **histogram** -- per-bucket counts, sum and count add; a child
+      histogram whose bucket bounds disagree with the parent's is a
+      hard error rather than a silent mis-bin.
+
+    Updates bypass the observability enable flag: the dump was gated at
+    observation time in the child, and dropping it here would lose data
+    the user already paid to collect.
+    """
+    target = _default_registry if into is None else into
+    for key, doc in dump.items():
+        name = key.split("{", 1)[0]
+        kind = doc.get("type")
+        labels = doc.get("labels") or {}
+        help_ = doc.get("help", "")
+        unit = doc.get("unit")
+        if kind == "counter":
+            if not doc["value"]:
+                continue
+            metric = target.counter(name, help=help_, unit=unit, labels=labels)
+            with metric._lock:
+                metric._value += float(doc["value"])
+        elif kind == "gauge":
+            if "min" not in doc:
+                continue
+            metric = target.gauge(name, help=help_, unit=unit, labels=labels)
+            with metric._lock:
+                metric._value = float(doc["value"])
+                metric._min = min(metric._min, float(doc["min"]))
+                metric._max = max(metric._max, float(doc["max"]))
+        elif kind == "histogram":
+            if not doc["count"]:
+                continue
+            bounds = [float(b) for b in doc["buckets"] if b != "+Inf"]
+            metric = target.histogram(name, help=help_, unit=unit,
+                                      labels=labels, buckets=bounds)
+            if metric.bounds != bounds:
+                raise ValueError(
+                    f"histogram {name!r} bucket bounds differ between child "
+                    f"dump and parent registry; refusing to mis-bin"
+                )
+            cumulative = [int(doc["buckets"][repr(b)]) for b in bounds]
+            with metric._lock:
+                previous = 0
+                for index, cum in enumerate(cumulative):
+                    metric._counts[index] += cum - previous
+                    previous = cum
+                metric._counts[-1] += int(doc["count"]) - previous
+                metric._sum += float(doc["sum"])
+                metric._count += int(doc["count"])
+        else:
+            raise ValueError(f"unknown metric type {kind!r} in dump")
 
 
 def prometheus_from_dump(dump):

@@ -46,7 +46,7 @@ from pathlib import Path
 from repro.obs import log as obs_log
 from repro.obs import metrics, trace
 from repro.qa.golden import digests_match, summarize
-from repro.resilience.faults import TransientFault, reach
+from repro.resilience.faults import TransientFault, active_plan, reach
 
 __all__ = [
     "CHECKPOINT_VERSION",
@@ -332,11 +332,120 @@ def _call_with_timeout(spec, seed, timeout_s):
     return box["result"]
 
 
+@dataclasses.dataclass
+class _SpecOutcome:
+    """Everything one spec's execution produced, merged in spec order."""
+
+    experiment_id: str
+    record: ExperimentRecord
+    result: object = None
+    has_result: bool = False
+    resumed: bool = False
+    attempt_failures: list = dataclasses.field(default_factory=list)
+    terminal_failure: object = None
+    terminal_exc: object = None
+
+
+def _run_spec(spec, *, store, resume, base_seed, max_retries, timeout_s,
+              transient_types, backoff_base, backoff_cap, sleep, notify):
+    """Run one experiment to completion/failure; no shared-state writes.
+
+    All campaign-report mutation happens in :func:`run_campaign` in spec
+    order, so this function can execute on a worker thread without
+    making the report depend on scheduling.
+    """
+    eid = spec.experiment_id
+    if store is not None and resume:
+        loaded = store.load(eid)
+        if loaded is not None:
+            result, meta = loaded
+            notify("resumed", eid)
+            return _SpecOutcome(
+                experiment_id=eid,
+                record=ExperimentRecord(
+                    eid, "resumed", int(meta.get("attempts", 1)),
+                    float(meta.get("wall_time", 0.0)), meta.get("seed"),
+                ),
+                result=result, has_result=True, resumed=True,
+            )
+    notify("start", eid)
+    outcome = _SpecOutcome(experiment_id=eid, record=None)
+    attempts_allowed = int(max_retries) + 1
+    total_wall = 0.0
+    for attempt in range(attempts_allowed):
+        seed = derive_attempt_seed(base_seed, eid, attempt)
+        start = time.perf_counter()
+        try:
+            with trace.span(f"experiment.{eid}", attempt=attempt, seed=seed):
+                reach(f"experiment:{eid}")
+                result = _call_with_timeout(spec, seed, timeout_s)
+        except (KeyboardInterrupt, SystemExit):
+            raise
+        except Exception as exc:
+            wall = time.perf_counter() - start
+            total_wall += wall
+            transient = isinstance(exc, transient_types)
+            failure = ExperimentFailure(
+                experiment_id=eid,
+                attempt=attempt,
+                error_type=type(exc).__name__,
+                message=str(exc),
+                traceback="".join(
+                    traceback_module.format_exception(type(exc), exc, exc.__traceback__)
+                ),
+                seed=seed,
+                wall_time=wall,
+                transient=transient,
+            )
+            outcome.attempt_failures.append(failure)
+            if transient and attempt + 1 < attempts_allowed:
+                # Emitted the moment the attempt fails, not at campaign
+                # end: a live tail of the log shows the retry as it
+                # happens, with the experiment and attempt attached.
+                _LOGGER.warning(
+                    "experiment %s attempt %d/%d failed (%s: %s); retrying",
+                    eid, attempt + 1, attempts_allowed,
+                    failure.error_type, failure.message,
+                    extra={"experiment": eid, "attempt": attempt + 1,
+                           "error_type": failure.error_type,
+                           "timeout": isinstance(exc, TimeoutError),
+                           "wall_s": round(wall, 3)},
+                )
+                notify("retry", eid, failure.describe())
+                sleep(min(backoff_base * 2.0 ** attempt, backoff_cap))
+                continue
+            outcome.terminal_failure = failure
+            outcome.terminal_exc = exc
+            outcome.record = ExperimentRecord(eid, "failed", attempt + 1, total_wall, seed)
+            _LOGGER.error(
+                "experiment %s failed terminally on attempt %d/%d (%s: %s)",
+                eid, attempt + 1, attempts_allowed,
+                failure.error_type, failure.message,
+                extra={"experiment": eid, "attempt": attempt + 1,
+                       "error_type": failure.error_type,
+                       "timeout": isinstance(exc, TimeoutError),
+                       "wall_s": round(wall, 3)},
+            )
+            notify("failed", eid, failure.describe())
+            break
+        else:
+            wall = time.perf_counter() - start
+            total_wall += wall
+            outcome.result = result
+            outcome.has_result = True
+            outcome.record = ExperimentRecord(eid, "completed", attempt + 1, total_wall, seed)
+            if store is not None:
+                store.save(eid, result, seed, attempt + 1, total_wall)
+            notify("completed", eid)
+            break
+    return outcome
+
+
 def run_campaign(specs, *, base_seed=0, max_retries=0, timeout_s=None,
                  checkpoint_dir=None, resume=True, manifest=None,
                  transient_types=TRANSIENT_TYPES, backoff_base=0.05,
                  backoff_cap=5.0, sleep=time.sleep, fail_fast=False,
-                 on_event=None):
+                 on_event=None, workers=1):
     """Drive ``specs`` (ordered :class:`ExperimentSpec`) to a report.
 
     Parameters
@@ -370,6 +479,18 @@ def run_campaign(specs, *, base_seed=0, max_retries=0, timeout_s=None,
         Optional ``fn(kind, experiment_id, detail)`` progress callback
         (kinds: ``start``, ``resumed``, ``completed``, ``retry``,
         ``failed``).
+    workers:
+        Concurrent experiments.  Experiment thunks close over arbitrary
+        state (they are rarely picklable), so campaign concurrency uses
+        *threads*; the numeric kernels underneath release the GIL.  Each
+        experiment's seeds derive from its id alone and the report is
+        assembled in spec order, so the results, records, failure lists
+        and checkpoint digests are identical at every worker count.
+        With ``workers > 1``, ``fail_fast`` still raises the first (in
+        spec order) terminal failure, but later experiments may already
+        have run; an active :class:`~repro.resilience.faults.FaultPlan`
+        forces serial execution so k-th-call fault sites keep their
+        meaning.
     """
     specs = [
         spec if isinstance(spec, ExperimentSpec) else ExperimentSpec(*spec)
@@ -393,91 +514,50 @@ def run_campaign(specs, *, base_seed=0, max_retries=0, timeout_s=None,
 
     report = CampaignReport(results={}, records=[], failures=[],
                             attempt_failures=[], resumed=[])
-    for spec in specs:
-        eid = spec.experiment_id
-        if store is not None and resume:
-            loaded = store.load(eid)
-            if loaded is not None:
-                result, meta = loaded
-                report.results[eid] = result
-                report.resumed.append(eid)
-                report.records.append(ExperimentRecord(
-                    eid, "resumed", int(meta.get("attempts", 1)),
-                    float(meta.get("wall_time", 0.0)), meta.get("seed"),
-                ))
-                _notify("resumed", eid)
-                continue
-        _notify("start", eid)
-        attempts_allowed = int(max_retries) + 1
-        total_wall = 0.0
-        for attempt in range(attempts_allowed):
-            seed = derive_attempt_seed(base_seed, eid, attempt)
-            start = time.perf_counter()
-            try:
-                with trace.span(f"experiment.{eid}", attempt=attempt, seed=seed):
-                    reach(f"experiment:{eid}")
-                    result = _call_with_timeout(spec, seed, timeout_s)
-            except (KeyboardInterrupt, SystemExit):
-                raise
-            except Exception as exc:
-                wall = time.perf_counter() - start
-                total_wall += wall
-                transient = isinstance(exc, transient_types)
-                failure = ExperimentFailure(
-                    experiment_id=eid,
-                    attempt=attempt,
-                    error_type=type(exc).__name__,
-                    message=str(exc),
-                    traceback="".join(
-                        traceback_module.format_exception(type(exc), exc, exc.__traceback__)
-                    ),
-                    seed=seed,
-                    wall_time=wall,
-                    transient=transient,
-                )
-                report.attempt_failures.append(failure)
-                if transient and attempt + 1 < attempts_allowed:
-                    # Emitted the moment the attempt fails, not at campaign
-                    # end: a live tail of the log shows the retry as it
-                    # happens, with the experiment and attempt attached.
-                    _LOGGER.warning(
-                        "experiment %s attempt %d/%d failed (%s: %s); retrying",
-                        eid, attempt + 1, attempts_allowed,
-                        failure.error_type, failure.message,
-                        extra={"experiment": eid, "attempt": attempt + 1,
-                               "error_type": failure.error_type,
-                               "timeout": isinstance(exc, TimeoutError),
-                               "wall_s": round(wall, 3)},
-                    )
-                    _notify("retry", eid, failure.describe())
-                    sleep(min(backoff_base * 2.0 ** attempt, backoff_cap))
-                    continue
-                report.failures.append(failure)
-                report.records.append(
-                    ExperimentRecord(eid, "failed", attempt + 1, total_wall, seed)
-                )
-                _LOGGER.error(
-                    "experiment %s failed terminally on attempt %d/%d (%s: %s)",
-                    eid, attempt + 1, attempts_allowed,
-                    failure.error_type, failure.message,
-                    extra={"experiment": eid, "attempt": attempt + 1,
-                           "error_type": failure.error_type,
-                           "timeout": isinstance(exc, TimeoutError),
-                           "wall_s": round(wall, 3)},
-                )
-                _notify("failed", eid, failure.describe())
-                if fail_fast:
-                    raise
-                break
-            else:
-                wall = time.perf_counter() - start
-                total_wall += wall
-                report.results[eid] = result
-                report.records.append(
-                    ExperimentRecord(eid, "completed", attempt + 1, total_wall, seed)
-                )
-                if store is not None:
-                    store.save(eid, result, seed, attempt + 1, total_wall)
-                _notify("completed", eid)
-                break
+
+    def _merge(outcome):
+        if outcome.has_result:
+            report.results[outcome.experiment_id] = outcome.result
+        if outcome.resumed:
+            report.resumed.append(outcome.experiment_id)
+        report.attempt_failures.extend(outcome.attempt_failures)
+        if outcome.terminal_failure is not None:
+            report.failures.append(outcome.terminal_failure)
+        report.records.append(outcome.record)
+
+    run_kwargs = dict(
+        store=store, resume=resume, base_seed=base_seed,
+        max_retries=max_retries, timeout_s=timeout_s,
+        transient_types=transient_types, backoff_base=backoff_base,
+        backoff_cap=backoff_cap, sleep=sleep, notify=_notify,
+    )
+    workers = int(workers) if workers is not None else 1
+    if workers > 1 and active_plan() is not None:
+        _LOGGER.info("fault plan active; campaign running serially")
+        workers = 1
+    if workers <= 1:
+        for spec in specs:
+            outcome = _run_spec(spec, **run_kwargs)
+            _merge(outcome)
+            if fail_fast and outcome.terminal_exc is not None:
+                raise outcome.terminal_exc
+        return report
+
+    # Threaded campaign: every experiment's seeds derive from its id, so
+    # results are scheduling-independent; the report is merged in spec
+    # order, making it (and the checkpoint digests) identical to the
+    # serial report.
+    from concurrent.futures import ThreadPoolExecutor
+
+    with ThreadPoolExecutor(
+        max_workers=min(workers, len(specs) or 1),
+        thread_name_prefix="campaign",
+    ) as executor:
+        outcomes = list(executor.map(lambda s: _run_spec(s, **run_kwargs), specs))
+    for outcome in outcomes:
+        _merge(outcome)
+    if fail_fast:
+        for outcome in outcomes:
+            if outcome.terminal_exc is not None:
+                raise outcome.terminal_exc
     return report

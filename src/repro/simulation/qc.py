@@ -28,7 +28,7 @@ from repro._validation import (
     require_positive_int,
 )
 from repro.simulation.metrics import worst_errored_second_loss
-from repro.simulation.multiplex import multiplex_series, random_lags
+from repro.simulation.multiplex import multiplex_many, multiplex_series, random_lags
 from repro.simulation.queue import max_backlog, simulate_queue, zero_loss_capacity
 
 __all__ = [
@@ -125,6 +125,17 @@ def required_capacity(
     return hi
 
 
+def _qc_point_task(c_total, common):
+    """Pool task: the minimum buffer for one capacity grid point."""
+    return required_buffer(
+        list(common["arrivals"]),
+        c_total,
+        common["target_loss"],
+        metric=common["metric"],
+        slots_per_second=common["slots_per_second"],
+    )
+
+
 @dataclass(frozen=True)
 class QCCurve:
     """One Q-C trade-off curve (a single line of Fig. 14 / 16)."""
@@ -168,6 +179,7 @@ def qc_curve(
     min_separation=1000,
     rng=None,
     capacity_span=(1.01, 1.0),
+    workers=1,
 ):
     """Compute a Q-C curve for ``n_sources`` multiplexed copies.
 
@@ -199,6 +211,10 @@ def qc_curve(
     capacity_span:
         ``(lo_factor, hi_factor)`` of the default grid relative to
         (mean, peak) of the single source.
+    workers:
+        Process count for the per-capacity buffer searches (and the lag
+        multiplexing).  All randomness is drawn before the fan-out, so
+        the curve is bit-identical at every worker count.
     """
     arr = as_1d_float_array(series, "series")
     slot_seconds = require_positive(slot_seconds, "slot_seconds")
@@ -208,10 +224,11 @@ def qc_curve(
         rng = np.random.default_rng()
     slots_per_second = max(int(round(1.0 / slot_seconds)), 1)
     n_draws = 1 if n_sources == 1 else n_lag_draws
-    arrival_sets = []
-    for _ in range(n_draws):
-        lags = random_lags(n_sources, arr.size, min_separation=min_separation, rng=rng)
-        arrival_sets.append(multiplex_series(arr, lags))
+    lag_sets = [
+        random_lags(n_sources, arr.size, min_separation=min_separation, rng=rng)
+        for _ in range(n_draws)
+    ]
+    arrival_sets = multiplex_many(arr, lag_sets, workers=workers)
     mean_rate = float(np.mean(arr))
     peak_rate = float(np.max(arr))
     if capacities is None:
@@ -221,20 +238,25 @@ def qc_curve(
     capacities = np.asarray(capacities, dtype=float)
     if np.any(capacities <= 0):
         raise ValueError("capacities must be positive")
-    buffers = np.empty(capacities.size)
-    tmax = np.empty(capacities.size)
-    for i, c_per_source in enumerate(capacities):
-        c_total = c_per_source * n_sources
-        q = required_buffer(
-            arrival_sets,
-            c_total,
-            target_loss,
-            metric=metric,
-            slots_per_second=slots_per_second,
-        )
-        buffers[i] = q
-        # T_max = Q / (N * C) with C in bytes/second.
-        tmax[i] = q * slot_seconds / c_total * 1000.0
+    from repro.par.pool import pool_map
+
+    # Every grid point's buffer search is independent and deterministic
+    # (no rng past this line); the stacked arrival sets ride shared
+    # memory once for all points.
+    c_totals = [float(c) * n_sources for c in capacities]
+    buffers = np.asarray(pool_map(
+        _qc_point_task, c_totals,
+        workers=workers,
+        common={
+            "arrivals": np.stack(arrival_sets),
+            "target_loss": target_loss,
+            "metric": metric,
+            "slots_per_second": slots_per_second,
+        },
+        label="qc",
+    ))
+    # T_max = Q / (N * C) with C in bytes/second.
+    tmax = buffers * slot_seconds / np.asarray(c_totals) * 1000.0
     return QCCurve(
         n_sources=n_sources,
         target_loss=target_loss,
@@ -270,6 +292,52 @@ def knee_point(curve, floor_ms=1e-3):
     return int(np.argmax(distance))
 
 
+def _smg_capacity_task(item, common):
+    """Pool task: bisect the per-source capacity for one value of ``N``.
+
+    ``item`` is ``(n, lag_sets)``; the lags were drawn in the parent, so
+    this function is deterministic and the SMG curve is identical at
+    every worker count.
+    """
+    n, lag_sets = item
+    arr = common["series"]
+    slot_seconds = common["slot_seconds"]
+    slots_per_second = common["slots_per_second"]
+    target_loss = common["target_loss"]
+    metric = common["metric"]
+    tmax_s = common["tmax_s"]
+    rel_tol = common["rel_tol"]
+    mean_rate = common["mean_rate"]
+    peak_rate = common["peak_rate"]
+    arrival_sets = [multiplex_series(arr, lags) for lags in lag_sets]
+
+    def feasible(c_per_source):
+        c_total = c_per_source * n
+        q = tmax_s * c_total / slot_seconds  # bytes
+        if target_loss == 0:
+            return all(max_backlog(a, c_total) <= q for a in arrival_sets)
+        return (
+            _mean_loss(arrival_sets, c_total, q, metric, slots_per_second)
+            <= target_loss
+        )
+
+    lo, hi = mean_rate, peak_rate
+    if feasible(lo):
+        return lo
+    if not feasible(hi):
+        # Peak allocation with a nonzero buffer always suffices for
+        # the overall metric; expand defensively otherwise.
+        while not feasible(hi):
+            hi *= 1.25
+    while (hi - lo) > rel_tol * hi:
+        mid = 0.5 * (lo + hi)
+        if feasible(mid):
+            hi = mid
+        else:
+            lo = mid
+    return hi
+
+
 def smg_curve(
     series,
     slot_seconds,
@@ -281,6 +349,7 @@ def smg_curve(
     min_separation=1000,
     rng=None,
     rel_tol=1e-4,
+    workers=1,
 ):
     """Statistical-multiplexing-gain curve (Fig. 15).
 
@@ -291,6 +360,11 @@ def smg_curve(
     ``"capacity_per_source_mbps"``, plus scalars ``"mean_rate"`` and
     ``"peak_rate"`` (bytes/slot) and the achieved ``"gain_fraction"``
     per N (share of the peak-to-mean gap recovered).
+
+    With ``workers > 1`` the per-``N`` capacity searches fan out across
+    processes; every lag draw happens up front in the caller's ``rng``
+    (in the same order as the serial loop), so the curve is
+    bit-identical at every worker count.
     """
     arr = as_1d_float_array(series, "series")
     slot_seconds = require_positive(slot_seconds, "slot_seconds")
@@ -302,41 +376,32 @@ def smg_curve(
     mean_rate = float(np.mean(arr))
     peak_rate = float(np.max(arr))
     tmax_s = tmax_ms / 1000.0
-    capacities = []
+    items = []
     for n in n_values:
         n = require_positive_int(n, "n_sources")
         n_draws = 1 if n == 1 else n_lag_draws
-        arrival_sets = []
-        for _ in range(n_draws):
-            lags = random_lags(n, arr.size, min_separation=min_separation, rng=rng)
-            arrival_sets.append(multiplex_series(arr, lags))
+        items.append((n, [
+            random_lags(n, arr.size, min_separation=min_separation, rng=rng)
+            for _ in range(n_draws)
+        ]))
+    from repro.par.pool import pool_map
 
-        def feasible(c_per_source):
-            c_total = c_per_source * n
-            q = tmax_s * c_total / slot_seconds  # bytes
-            if target_loss == 0:
-                return all(max_backlog(a, c_total) <= q for a in arrival_sets)
-            return (
-                _mean_loss(arrival_sets, c_total, q, metric, slots_per_second)
-                <= target_loss
-            )
-
-        lo, hi = mean_rate, peak_rate
-        if feasible(lo):
-            capacities.append(lo)
-            continue
-        if not feasible(hi):
-            # Peak allocation with a nonzero buffer always suffices for
-            # the overall metric; expand defensively otherwise.
-            while not feasible(hi):
-                hi *= 1.25
-        while (hi - lo) > rel_tol * hi:
-            mid = 0.5 * (lo + hi)
-            if feasible(mid):
-                hi = mid
-            else:
-                lo = mid
-        capacities.append(hi)
+    capacities = pool_map(
+        _smg_capacity_task, items,
+        workers=workers,
+        common={
+            "series": arr,
+            "slot_seconds": slot_seconds,
+            "slots_per_second": slots_per_second,
+            "target_loss": target_loss,
+            "metric": metric,
+            "tmax_s": tmax_s,
+            "rel_tol": rel_tol,
+            "mean_rate": mean_rate,
+            "peak_rate": peak_rate,
+        },
+        label="smg",
+    )
     capacities = np.asarray(capacities, dtype=float)
     gain_fraction = (peak_rate - capacities) / max(peak_rate - mean_rate, 1e-12)
     return {

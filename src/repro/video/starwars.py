@@ -43,6 +43,7 @@ from repro._validation import require_in_open_interval, require_positive, requir
 from repro.core.daviesharte import DaviesHarteGenerator
 from repro.distributions.hybrid import GammaParetoHybrid
 from repro.obs import metrics, trace
+from repro.par import cache as _cache
 from repro.video.scenes import generate_scene_script
 from repro.video.trace import VBRTrace
 
@@ -251,6 +252,30 @@ def synthesize_starwars_trace(
         slices_per_frame if slices_per_frame is not None else p["slices_per_frame"],
         "slices_per_frame",
     )
+    # The synthesized arrays are a pure function of the calibrated
+    # parameters and the seed, so a configured content cache can serve
+    # the exact trace back (digest-verified); a nondeterministic run
+    # (seed=None) is never cached.
+    cache = _cache.active_cache()
+    cache_params = None
+    if cache is not None and seed is not None:
+        cache_params = {
+            "n_frames": n_frames, "seed": int(seed), "mean": mean, "std": std,
+            "tail_shape": tail_shape, "hurst": hurst, "frame_rate": frame_rate,
+            "slices_per_frame": slices_per_frame, "with_slices": bool(with_slices),
+            "fgn_weight": fgn_weight, "ar1_weight": ar1_weight,
+            "ar1_phi": ar1_phi, "arc_weight": arc_weight,
+            "landmark_scale": landmark_scale,
+        }
+        hit = cache.get("starwars.trace", cache_params)
+        if hit is not None:
+            _FRAMES.inc(n_frames)
+            return VBRTrace(
+                hit["frame_bytes"],
+                frame_rate=frame_rate,
+                slices_per_frame=slices_per_frame,
+                slice_bytes=hit.get("slice_bytes"),
+            )
     rng = np.random.default_rng(seed)
 
     with trace.span("starwars.synthesize", n_frames=n_frames, with_slices=with_slices):
@@ -284,6 +309,11 @@ def synthesize_starwars_trace(
         slice_bytes = None
         if with_slices:
             slice_bytes = _slice_split(frame_bytes, script, slices_per_frame, rng)
+    if cache_params is not None:
+        payload = {"frame_bytes": frame_bytes}
+        if slice_bytes is not None:
+            payload["slice_bytes"] = slice_bytes
+        cache.put("starwars.trace", cache_params, payload)
     _FRAMES.inc(n_frames)
     return VBRTrace(
         frame_bytes,

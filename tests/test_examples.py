@@ -87,6 +87,13 @@ class TestExamples:
         assert "schema=repro-run/1" in out
         assert run_json.exists()
 
+    def test_parallel_sweep(self):
+        out = run_example("parallel_sweep.py", "--frames", "8000",
+                          "--samples", "100000", "--workers", "2")
+        assert "bit-identical" in out
+        assert "pool tasks merged back into the parent registry" in out
+        assert "cached == uncached bit-for-bit" in out
+
     def test_resilient_campaign(self):
         out = run_example("resilient_campaign.py")
         assert "killed" in out

@@ -1,0 +1,239 @@
+"""Tests for the content-addressed cache: keys, round-trips, poisoning.
+
+The key contract (:func:`canonical_params` / :func:`cache_key`) is the
+safety boundary — a collision would silently serve one parameterization
+another's eigenvalues.  The tier-1 tests pin its edge cases; the seeded
+fuzz class (tier 2) hammers it with randomized parameter dicts and H
+values near the self-similar boundaries.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.daviesharte import DaviesHarteGenerator
+from repro.par import cache as par_cache
+from repro.par.cache import (
+    ContentCache,
+    cache_key,
+    canonical_params,
+    memoized,
+    using,
+)
+
+
+class TestCanonicalParams:
+    def test_key_order_is_irrelevant(self):
+        a = cache_key("alg", {"hurst": 0.8, "n": 4096, "variance": 1.0})
+        b = cache_key("alg", {"variance": 1.0, "n": 4096, "hurst": 0.8})
+        assert a == b
+
+    def test_int_and_float_forms_canonicalize_identically(self):
+        assert cache_key("alg", {"n": 2}) == cache_key("alg", {"n": 2.0})
+        assert cache_key("alg", {"n": np.int64(2)}) == cache_key(
+            "alg", {"n": np.float64(2)}
+        )
+
+    def test_negative_zero_folds(self):
+        assert cache_key("alg", {"x": -0.0}) == cache_key("alg", {"x": 0.0})
+
+    def test_bool_is_not_an_int(self):
+        assert cache_key("alg", {"x": True}) != cache_key("alg", {"x": 1})
+
+    def test_distinct_floats_stay_distinct(self):
+        assert cache_key("alg", {"hurst": 0.5}) != cache_key(
+            "alg", {"hurst": 0.5 + 1e-12}
+        )
+
+    def test_big_seed_integers_are_exact(self):
+        # 64-bit sha-derived seeds exceed float64's exact range; two
+        # seeds that would round to the same float must not collide.
+        seed = (1 << 63) + 1
+        assert canonical_params({"seed": seed})["seed"] == f"int:{seed}"
+        assert cache_key("alg", {"seed": seed}) != cache_key(
+            "alg", {"seed": seed + 1}
+        )
+
+    def test_non_finite_rejected(self):
+        for bad in (float("nan"), float("inf"), -float("inf")):
+            with pytest.raises(ValueError, match="non-finite"):
+                canonical_params({"x": bad})
+
+    def test_uncacheable_type_rejected(self):
+        with pytest.raises(TypeError, match="uncacheable"):
+            canonical_params({"x": object()})
+
+    def test_nested_sequences(self):
+        a = canonical_params({"specs": [(1, 2.0), (3, 4)]})
+        b = canonical_params({"specs": ((1.0, 2), (3.0, 4.0))})
+        assert a == b
+
+    def test_algorithm_separates_namespaces(self):
+        params = {"hurst": 0.8, "n": 1024}
+        assert cache_key("daviesharte.sqrt_eig", params) != cache_key(
+            "paxson.spectral_density", params
+        )
+
+    def test_key_regression(self):
+        # Pinned digest: any change here breaks every on-disk cache, so
+        # it must be deliberate (and bump CACHE_VERSION).
+        assert cache_key("alg", {"hurst": 0.8, "n": 4096}) == (
+            "c4188a8166e35fb642aa0f2002e04f77"
+            "367fc1d64faca83a20b94e69d7302aee"
+        )
+
+
+@pytest.mark.tier2
+class TestKeyFuzz:
+    """Seeded fuzz over the key function (nightly, rotated by --qa-seed)."""
+
+    def test_param_order_invariance(self, seeded_rng):
+        for _ in range(50):
+            n_params = int(seeded_rng.integers(1, 8))
+            params = {
+                f"p{i}": float(seeded_rng.normal()) for i in range(n_params)
+            }
+            params["n"] = int(seeded_rng.integers(1, 1 << 20))
+            keys = list(params)
+            reference = cache_key("fuzz", params)
+            for _ in range(4):
+                seeded_rng.shuffle(keys)
+                assert cache_key("fuzz", {k: params[k] for k in keys}) == reference
+
+    def test_float_canonicalization_respects_equality(self, seeded_rng):
+        for _ in range(100):
+            value = float(seeded_rng.normal()) * 10.0 ** int(
+                seeded_rng.integers(-12, 12)
+            )
+            assert cache_key("fuzz", {"x": value}) == cache_key(
+                "fuzz", {"x": np.float64(value)}
+            )
+            nudged = np.nextafter(value, np.inf)
+            assert cache_key("fuzz", {"x": value}) != cache_key(
+                "fuzz", {"x": nudged}
+            )
+
+    def test_distinct_hurst_n_never_collide(self, seeded_rng):
+        # The regression the cache must never have: two (H, n) points
+        # addressing one eigenvalue vector.  Includes H values pressed
+        # against the self-similar boundaries.
+        hursts = [0.5 + 1e-12, 0.5 + 1e-9, 0.99999999, 1.0 - 1e-12]
+        hursts += [float(h) for h in seeded_rng.uniform(0.5, 1.0, size=40)]
+        sizes = [int(n) for n in seeded_rng.integers(2, 1 << 22, size=10)]
+        keys = {}
+        for h in hursts:
+            for n in sizes:
+                key = cache_key("daviesharte.sqrt_eig", {"hurst": h, "n": n})
+                assert key not in keys, f"collision: {(h, n)} vs {keys[key]}"
+                keys[key] = (h, n)
+
+
+class TestContentCache:
+    def test_array_round_trip(self, tmp_path):
+        cache = ContentCache(tmp_path)
+        params = {"hurst": 0.8, "n": 64}
+        arr = np.random.default_rng(3).normal(size=64)
+        assert cache.get("alg", params) is None
+        cache.put("alg", params, arr)
+        hit = cache.get("alg", params)
+        np.testing.assert_array_equal(hit, arr)
+
+    def test_dict_round_trip(self, tmp_path):
+        cache = ContentCache(tmp_path)
+        payload = {"frame_bytes": np.arange(10.0), "slice_bytes": np.arange(30.0)}
+        cache.put("trace", {"seed": 0}, payload)
+        hit = cache.get("trace", {"seed": 0})
+        assert set(hit) == {"frame_bytes", "slice_bytes"}
+        np.testing.assert_array_equal(hit["frame_bytes"], payload["frame_bytes"])
+
+    def test_poisoned_payload_evicted_never_served(self, tmp_path):
+        cache = ContentCache(tmp_path)
+        params = {"hurst": 0.8, "n": 64}
+        cache.put("alg", params, np.arange(64.0))
+        payload_path, meta_path = cache.entry_paths("alg", params)
+        blob = bytearray(payload_path.read_bytes())
+        blob[len(blob) // 2] ^= 0xFF
+        payload_path.write_bytes(bytes(blob))
+        assert cache.get("alg", params) is None  # mismatch -> miss, not data
+        assert not payload_path.exists() and not meta_path.exists()
+
+    def test_stale_version_evicted(self, tmp_path):
+        cache = ContentCache(tmp_path)
+        cache.put("alg", {"n": 4}, np.arange(4.0))
+        payload_path, meta_path = cache.entry_paths("alg", {"n": 4})
+        meta = json.loads(meta_path.read_text())
+        meta["version"] = 999
+        meta_path.write_text(json.dumps(meta))
+        assert cache.get("alg", {"n": 4}) is None
+        assert not payload_path.exists()
+
+    def test_unreadable_meta_evicted(self, tmp_path):
+        cache = ContentCache(tmp_path)
+        cache.put("alg", {"n": 4}, np.arange(4.0))
+        _, meta_path = cache.entry_paths("alg", {"n": 4})
+        meta_path.write_text("{not json")
+        assert cache.get("alg", {"n": 4}) is None
+
+    def test_memoize_computes_once(self, tmp_path):
+        cache = ContentCache(tmp_path)
+        calls = []
+
+        def compute():
+            calls.append(1)
+            return np.arange(8.0)
+
+        first = cache.memoize("alg", {"n": 8}, compute)
+        second = cache.memoize("alg", {"n": 8}, compute)
+        np.testing.assert_array_equal(first, second)
+        assert len(calls) == 1
+
+    def test_entries_lists_metadata(self, tmp_path):
+        cache = ContentCache(tmp_path)
+        cache.put("alg", {"n": 1}, np.arange(1.0))
+        cache.put("other", {"n": 2}, np.arange(2.0))
+        algorithms = sorted(algorithm for algorithm, _ in cache.entries())
+        assert algorithms == ["alg", "other"]
+
+
+class TestActiveCache:
+    def test_memoized_without_cache_computes_every_time(self):
+        assert par_cache.active_cache() is None
+        calls = []
+
+        def compute():
+            calls.append(1)
+            return np.arange(4.0)
+
+        memoized("alg", {"n": 4}, compute)
+        memoized("alg", {"n": 4}, compute)
+        assert len(calls) == 2
+
+    def test_using_scopes_the_cache(self, tmp_path):
+        calls = []
+
+        def compute():
+            calls.append(1)
+            return np.arange(4.0)
+
+        with using(tmp_path) as cache:
+            assert par_cache.active_cache() is cache
+            memoized("alg", {"n": 4}, compute)
+            memoized("alg", {"n": 4}, compute)
+        assert len(calls) == 1
+        assert par_cache.active_cache() is None
+
+    def test_generator_tables_cold_equals_warm(self, tmp_path):
+        rng_seed = 71
+        uncached = DaviesHarteGenerator(0.8).generate(
+            2048, rng=np.random.default_rng(rng_seed)
+        )
+        with using(tmp_path):
+            cold = DaviesHarteGenerator(0.8).generate(
+                2048, rng=np.random.default_rng(rng_seed)
+            )
+            warm = DaviesHarteGenerator(0.8).generate(
+                2048, rng=np.random.default_rng(rng_seed)
+            )
+        np.testing.assert_array_equal(cold, uncached)
+        np.testing.assert_array_equal(warm, uncached)

@@ -1,0 +1,178 @@
+"""The tier-1 determinism wall: parallel == serial, bit for bit.
+
+Every parallel entry point — sharded fGn synthesis, multiplex fan-out,
+Q-C grid sweeps, SMG capacity search, campaign supervision — must
+return byte-identical results at every worker count, including odd
+shard boundaries (a short final shard, a final shard shorter than the
+blend overlap).  These are exact ``assert_array_equal`` comparisons,
+not tolerances: seeds are index-derived, so scheduling can never leak
+into the output.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.hosking import hosking_farima
+from repro.par.shard import blend_weights, shard_fgn, shard_plan
+from repro.resilience.runner import ExperimentSpec, run_campaign
+from repro.simulation.multiplex import multiplex_many, multiplex_series, random_lags
+from repro.simulation.qc import qc_curve, smg_curve
+
+WORKER_COUNTS = (1, 2, 5)
+
+
+class TestShardPlan:
+    def test_covers_exactly(self):
+        plan = shard_plan(10_001, 3000)
+        assert plan == [(0, 3000), (3000, 3000), (6000, 3000), (9000, 1001)]
+        assert sum(length for _, length in plan) == 10_001
+
+    def test_blend_weights_preserve_variance(self):
+        w_old, w_new = blend_weights(64)
+        np.testing.assert_allclose(w_old**2 + w_new**2, 1.0, rtol=1e-12)
+
+
+class TestShardedFGN:
+    @pytest.mark.parametrize("backend", ["paxson", "davies-harte"])
+    @pytest.mark.parametrize(
+        "n,shard_size,overlap",
+        [
+            (10_001, 3000, 100),  # short final shard
+            (9_050, 3000, 100),   # final shard shorter than the overlap
+            (6_000, 2000, 0),     # no blending at all
+            (1_500, 4096, 256),   # single shard, n < shard_size
+        ],
+    )
+    def test_worker_invariance_at_odd_boundaries(self, backend, n, shard_size, overlap):
+        reference = shard_fgn(
+            n, 0.8, backend=backend, seed=5,
+            shard_size=shard_size, overlap=overlap, workers=1,
+        )
+        assert reference.shape == (n,)
+        for workers in WORKER_COUNTS[1:]:
+            np.testing.assert_array_equal(
+                shard_fgn(
+                    n, 0.8, backend=backend, seed=5,
+                    shard_size=shard_size, overlap=overlap, workers=workers,
+                ),
+                reference,
+            )
+
+    def test_hosking_matches_reference_generator(self):
+        # The exact backend stays serial and must equal the plain
+        # generator sample for sample, at any requested worker count.
+        reference = hosking_farima(2_000, hurst=0.8, rng=np.random.default_rng(9))
+        for workers in WORKER_COUNTS:
+            np.testing.assert_array_equal(
+                shard_fgn(2_000, 0.8, backend="hosking", seed=9, workers=workers),
+                reference,
+            )
+
+    def test_seed_changes_output(self):
+        a = shard_fgn(4_000, 0.8, seed=0, shard_size=1500, overlap=50)
+        b = shard_fgn(4_000, 0.8, seed=1, shard_size=1500, overlap=50)
+        assert not np.array_equal(a, b)
+
+    def test_overlap_validation(self):
+        with pytest.raises(ValueError, match="overlap"):
+            shard_fgn(1000, 0.8, shard_size=100, overlap=100)
+
+
+class TestMultiplexMany:
+    def test_worker_invariance(self, rng):
+        series = rng.gamma(2.0, 10_000.0, size=150_000)  # > SHM threshold
+        lag_sets = [random_lags(5, series.size, rng=rng) for _ in range(6)]
+        reference = [multiplex_series(series, lags) for lags in lag_sets]
+        for workers in WORKER_COUNTS:
+            got = multiplex_many(series, lag_sets, workers=workers)
+            assert len(got) == len(reference)
+            for a, b in zip(got, reference):
+                np.testing.assert_array_equal(a, b)
+
+
+@pytest.fixture(scope="module")
+def qc_series(small_series):
+    return np.asarray(small_series[:8_000], dtype=float)
+
+
+class TestGridSweeps:
+    def test_qc_curve_worker_invariance(self, qc_series):
+        def sweep(workers):
+            return qc_curve(
+                qc_series, 1.0 / 24.0, n_sources=5, target_loss=1e-3,
+                n_points=4, n_lag_draws=2,
+                rng=np.random.default_rng(17), workers=workers,
+            )
+
+        reference = sweep(1)
+        for workers in WORKER_COUNTS[1:]:
+            curve = sweep(workers)
+            np.testing.assert_array_equal(
+                curve.capacity_per_source, reference.capacity_per_source
+            )
+            np.testing.assert_array_equal(curve.buffer_bytes, reference.buffer_bytes)
+            np.testing.assert_array_equal(curve.tmax_ms, reference.tmax_ms)
+
+    def test_smg_curve_worker_invariance(self, qc_series):
+        def sweep(workers):
+            return smg_curve(
+                qc_series, 1.0 / 24.0, n_values=(1, 2, 5), target_loss=1e-3,
+                n_lag_draws=2, rng=np.random.default_rng(23),
+                rel_tol=1e-3, workers=workers,
+            )
+
+        reference = sweep(1)
+        for workers in WORKER_COUNTS[1:]:
+            result = sweep(workers)
+            assert set(result) == set(reference)
+            np.testing.assert_array_equal(
+                result["capacity_per_source"], reference["capacity_per_source"]
+            )
+            np.testing.assert_array_equal(
+                result["gain_fraction"], reference["gain_fraction"]
+            )
+
+
+def _campaign_specs():
+    def experiment(scale):
+        def run(seed):
+            rng = np.random.default_rng(seed)
+            sample = rng.normal(size=256) * scale
+            return {"mean": float(sample.mean()), "std": float(sample.std())}
+
+        return run
+
+    return [ExperimentSpec(f"exp{i:02d}", experiment(float(i + 1))) for i in range(7)]
+
+
+class TestCampaignInvariance:
+    def test_results_and_records_identical(self):
+        reference = run_campaign(_campaign_specs(), base_seed=3)
+        for workers in WORKER_COUNTS[1:]:
+            report = run_campaign(_campaign_specs(), base_seed=3, workers=workers)
+            assert report.results == reference.results
+            assert [r.experiment_id for r in report.records] == [
+                r.experiment_id for r in reference.records
+            ]
+            assert [r.status for r in report.records] == [
+                r.status for r in reference.records
+            ]
+
+    def test_checkpoint_digests_identical(self, tmp_path):
+        digests = {}
+        for workers in WORKER_COUNTS:
+            ckpt = tmp_path / f"w{workers}"
+            run_campaign(
+                _campaign_specs(), base_seed=3,
+                checkpoint_dir=str(ckpt), workers=workers,
+            )
+            digests[workers] = {
+                path.stem: json.loads(path.read_text()).get("digest")
+                for path in sorted(ckpt.glob("*.json"))
+                if path.stem != "campaign"
+            }
+            assert len(digests[workers]) == 7
+        assert digests[2] == digests[1]
+        assert digests[5] == digests[1]
