@@ -15,6 +15,8 @@ Usage (also via ``python -m repro``):
     repro obs report run.json
     repro obs export-metrics run.json
     repro obs bench-diff baseline.json BENCH_obs.json --tolerance 0.2
+    repro net topology.json --record-events
+    repro net --demo --frames 4000 --json
     repro doctor trace.dat
 
 Stream discipline: *data products* (tables, summaries, streamed
@@ -176,6 +178,28 @@ def build_parser():
     p_obs_diff.add_argument("current", help="current BENCH_*.json")
     p_obs_diff.add_argument("--tolerance", type=float, default=0.2,
                             help="relative change treated as a regression (default 0.2)")
+
+    p_net = sub.add_parser(
+        "net", help="multi-hop network simulation from a topology spec"
+    )
+    p_net.add_argument("specs", nargs="*", metavar="SPEC",
+                       help="topology spec JSON file(s); omit with --demo")
+    p_net.add_argument("--demo", action="store_true",
+                       help="run a built-in 3-hop tandem fed by the synthetic trace")
+    p_net.add_argument("--frames", type=int, default=4_000,
+                       help="demo trace length in frames (default 4000)")
+    p_net.add_argument("--seed", type=int, default=0, help="demo trace seed")
+    p_net.add_argument("--capacity-factor", type=float, default=1.1,
+                       help="demo per-hop capacity as a multiple of the mean rate")
+    p_net.add_argument("--buffer-ms", type=float, default=250.0,
+                       help="demo per-hop buffer as delay at link capacity")
+    p_net.add_argument("--workers", type=int, default=1,
+                       help="run multiple specs on a process pool; results are "
+                            "identical at every worker count")
+    p_net.add_argument("--record-events", action="store_true",
+                       help="record the event trace and report its sha256 digest")
+    p_net.add_argument("--json", action="store_true", dest="as_json",
+                       help="emit full results as JSON on stdout")
 
     p_doc = sub.add_parser("doctor", help="diagnose (and repair-load) a trace file")
     p_doc.add_argument("trace", help="trace file to examine")
@@ -490,6 +514,95 @@ def _cmd_experiments(args):
     return 0 if campaign is None or campaign.ok else 1
 
 
+def _demo_net_spec(args):
+    """A 3-hop tandem spec fed by the calibrated synthetic trace."""
+    slot_seconds = 1.0 / 24.0
+    capacity = args.capacity_factor * 27_791.0
+    buffer_bytes = args.buffer_ms / 1e3 * capacity / slot_seconds
+    return {
+        "slots": args.frames,
+        "slot_seconds": slot_seconds,
+        "nodes": [{"name": n, "buffer_bytes": buffer_bytes} for n in "abcd"],
+        "links": [
+            {"src": s, "dst": d, "capacity_per_slot": capacity}
+            for s, d in (("a", "b"), ("b", "c"), ("c", "d"))
+        ],
+        "flows": [{
+            "name": "video",
+            "path": ["a", "b", "c", "d"],
+            "source": {"kind": "trace", "frames": args.frames, "seed": args.seed},
+        }],
+    }
+
+
+def _cmd_net(args):
+    from repro.net import run_topology_task, spec_from_json, sweep_topologies
+
+    try:
+        return _net_body(args, run_topology_task, spec_from_json,
+                         sweep_topologies)
+    except (OSError, json.JSONDecodeError, ValueError, KeyError) as exc:
+        # A spec file that is missing, unreadable JSON, or an invalid
+        # topology is bad user input, not an internal error.
+        detail = f"missing spec key {exc}" if isinstance(exc, KeyError) else exc
+        print(f"error: {detail}", file=sys.stderr)
+        return 2
+
+
+def _net_body(args, run_topology_task, spec_from_json, sweep_topologies):
+    from repro.experiments.reporting import format_table
+
+    if args.demo:
+        specs = [_demo_net_spec(args)]
+        names = ["demo-tandem"]
+    elif args.specs:
+        specs = [spec_from_json(path) for path in args.specs]
+        names = list(args.specs)
+    else:
+        raise SystemExit("error: pass topology spec file(s) or --demo")
+    if args.record_events:
+        specs = [{**spec, "record_events": True} for spec in specs]
+    if len(specs) > 1:
+        results = sweep_topologies(specs, workers=args.workers)
+    else:
+        results = [run_topology_task(specs[0])]
+    if args.as_json:
+        docs = []
+        for name, result in zip(names, results):
+            result.pop("series", None)
+            docs.append({"spec": name, **result})
+        json.dump(docs if len(docs) > 1 else docs[0], sys.stdout, indent=2,
+                  default=list)
+        print()
+        return 0
+    for name, result in zip(names, results):
+        print(f"{name}: {result['slots']} slots, {result['events']} events")
+        rows = [
+            [
+                p["port"], p["discipline"],
+                f"{p['utilization']:.3f}", f"{p['loss_rate']:.2e}",
+                f"{p['mean_delay_slots']:.2f}", f"{p['peak_backlog']:.0f}",
+            ]
+            for p in result["ports"].values()
+        ]
+        print(format_table(
+            ["port", "disc", "util", "loss", "delay(slots)", "peak(B)"], rows
+        ))
+        rows = [
+            [
+                fname, f"{f['offered_bytes']:.3e}", f"{f['loss_rate']:.2e}",
+                f"{f['delivered_fraction']:.4f}", f"{f['mean_latency_slots']:.2f}",
+            ]
+            for fname, f in result["flows"].items()
+        ]
+        print(format_table(
+            ["flow", "offered(B)", "loss", "delivered", "latency(slots)"], rows
+        ))
+        if "event_trace_sha256" in result:
+            print(f"event trace sha256: {result['event_trace_sha256']}")
+    return 0
+
+
 def _cmd_doctor(args):
     from repro.video.tracefile import TraceFormatError, load_trace_lenient
 
@@ -588,6 +701,7 @@ _COMMANDS = {
     "stream": _cmd_stream,
     "experiments": _cmd_experiments,
     "generate": _cmd_generate,
+    "net": _cmd_net,
     "doctor": _cmd_doctor,
     "obs": _cmd_obs,
 }

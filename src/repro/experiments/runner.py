@@ -33,6 +33,8 @@ from repro.experiments import (
     fig15_smg,
     fig16_model_vs_trace,
     fig17_loss_process,
+    fig_net_hurst_hops,
+    fig_net_tandem,
     table1,
     table2,
     table3,
@@ -92,6 +94,15 @@ def experiment_specs(trace, quick=False, sim_frames=None):
         spec("fig16", fig16_model_vs_trace.run, trace,
              n_frames=sim_frames, n_buffers=6 if quick else 10),
         spec("fig17", fig17_loss_process.run, trace, n_frames=sim_frames),
+        spec(
+            "fig_net_tandem", fig_net_tandem.run, trace,
+            n_frames=min(sim_frames, 4_000),
+            n_points=4 if quick else 5,
+        ),
+        spec(
+            "fig_net_hurst_hops", fig_net_hurst_hops.run, trace,
+            n_frames=min(sim_frames, 8_000),
+        ),
     ]
 
 
@@ -276,5 +287,19 @@ def summary_lines(results):
         "Fig 17: loss concentration "
         + ", ".join(f"N={n}: {v['concentration']:.2f}" for n, v in sorted(f17.items()))
         + " (same overall loss, very different error processes)"
+    )
+    tandem = results["fig_net_tandem"]
+    lossless = {
+        h: tandem["curves"][(h, 0.0)]["tmax_ms"][0] for h in tandem["hops"]
+    }
+    lines.append(
+        "Net tandem: lossless T_max at the lowest capacity grows with path "
+        "length: " + ", ".join(f"{h} hop(s)={v:.0f} ms" for h, v in sorted(lossless.items()))
+    )
+    hh = results["fig_net_hurst_hops"]
+    lines.append(
+        "Net Hurst/hops: variance-time H "
+        + " -> ".join(f"{v:.2f}" for v in hh["hurst_variance_time"])
+        + f" across {hh['hops']} hops (self-similarity survives queueing)"
     )
     return lines

@@ -1,0 +1,194 @@
+"""Nodes and their output ports (the queues of the network).
+
+A :class:`Node` owns one finite-buffer output :class:`Port` per egress
+link.  The port is where a hop's queueing happens: arrivals delivered
+during a slot accumulate in the port's pending dict, the port's
+discipline (:mod:`repro.net.sched`) is stepped once per slot, and the
+served fluid is handed to the link.  Each port keeps its own per-hop
+statistics -- served/lost/offered volume, backlog mean and peak, the
+fluid queueing-delay mean and jitter (``backlog / capacity`` after
+each slot) -- plus per-flow accounting, and can optionally record the
+full backlog / departure / loss series for trajectory-level tests and
+the Hurst-across-hops experiment.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro._validation import require_nonnegative
+from repro.net.sched import make_discipline
+
+__all__ = ["Node", "Port"]
+
+
+class Port:
+    """One output queue: a discipline plus per-hop accounting."""
+
+    def __init__(self, node, link, discipline_name, buffer_bytes,
+                 record_series=False):
+        self.node = node
+        self.link = link
+        self.name = link.name
+        self.discipline_name = discipline_name
+        self.discipline = make_discipline(
+            discipline_name, link.capacity_per_slot, buffer_bytes
+        )
+        self.pending = {}
+        self.slots = 0
+        self.offered_bytes = 0.0
+        self.served_bytes = 0.0
+        self.lost_bytes = 0.0
+        self.peak_backlog = 0.0
+        self._backlog_sum = 0.0
+        self._delay_sum = 0.0
+        self._delay_sq_sum = 0.0
+        self.flow_offered = {}
+        self.flow_served = {}
+        self.flow_lost = {}
+        self.backlog_series = [] if record_series else None
+        self.departure_series = [] if record_series else None
+        self.loss_series = [] if record_series else None
+
+    def deliver(self, flow, volume):
+        """Accumulate fluid arriving for ``flow`` during the current slot."""
+        self.pending[flow] = self.pending.get(flow, 0.0) + volume
+        self.offered_bytes += volume
+        self.flow_offered[flow] = self.flow_offered.get(flow, 0.0) + volume
+
+    def service(self):
+        """Run one slot of the discipline; returns its StepResult."""
+        result = self.discipline.step(self.pending)
+        self.pending = {}
+        self.slots += 1
+        self.served_bytes += result.served_total
+        self.lost_bytes += result.lost_total
+        backlog = result.backlog
+        if backlog > self.peak_backlog:
+            self.peak_backlog = backlog
+        self._backlog_sum += backlog
+        delay = backlog / self.link.capacity_per_slot
+        self._delay_sum += delay
+        self._delay_sq_sum += delay * delay
+        for flow, volume in result.served.items():
+            self.flow_served[flow] = self.flow_served.get(flow, 0.0) + volume
+        for flow, volume in result.lost.items():
+            self.flow_lost[flow] = self.flow_lost.get(flow, 0.0) + volume
+        if self.backlog_series is not None:
+            self.backlog_series.append(backlog)
+            self.departure_series.append(result.served_total)
+            self.loss_series.append(result.lost_total)
+        return result
+
+    @property
+    def final_backlog(self):
+        """Bytes left in the port buffer after the last slot."""
+        return self.discipline.backlog
+
+    @property
+    def loss_rate(self):
+        """Lost-to-offered byte ratio at this hop."""
+        return self.lost_bytes / self.offered_bytes if self.offered_bytes > 0 else 0.0
+
+    @property
+    def mean_backlog(self):
+        """Mean post-service backlog over the run."""
+        return self._backlog_sum / self.slots if self.slots else 0.0
+
+    @property
+    def mean_delay_slots(self):
+        """Mean fluid queueing delay (``backlog / capacity``) in slots."""
+        return self._delay_sum / self.slots if self.slots else 0.0
+
+    @property
+    def delay_jitter_slots(self):
+        """Standard deviation of the per-slot queueing delay."""
+        if not self.slots:
+            return 0.0
+        mean = self._delay_sum / self.slots
+        var = self._delay_sq_sum / self.slots - mean * mean
+        return math.sqrt(var) if var > 0.0 else 0.0
+
+    @property
+    def utilization(self):
+        """Served volume over total service opportunity."""
+        if not self.slots:
+            return 0.0
+        return self.served_bytes / (self.link.capacity_per_slot * self.slots)
+
+    def summary(self):
+        """Per-hop metrics as a plain JSON-able dict."""
+        return {
+            "port": self.name,
+            "discipline": self.discipline_name,
+            "capacity_per_slot": self.link.capacity_per_slot,
+            "buffer_bytes": self.discipline.buffer_bytes,
+            "slots": self.slots,
+            "offered_bytes": self.offered_bytes,
+            "served_bytes": self.served_bytes,
+            "lost_bytes": self.lost_bytes,
+            "loss_rate": self.loss_rate,
+            "final_backlog": self.final_backlog,
+            "peak_backlog": self.peak_backlog,
+            "mean_backlog": self.mean_backlog,
+            "mean_delay_slots": self.mean_delay_slots,
+            "delay_jitter_slots": self.delay_jitter_slots,
+            "utilization": self.utilization,
+            "flows": {
+                flow: {
+                    "offered_bytes": self.flow_offered.get(flow, 0.0),
+                    "served_bytes": self.flow_served.get(flow, 0.0),
+                    "lost_bytes": self.flow_lost.get(flow, 0.0),
+                }
+                for flow in self.discipline.flows
+            },
+        }
+
+    def __repr__(self):
+        return (
+            f"Port({self.name}, {self.discipline_name}, "
+            f"c={self.link.capacity_per_slot:.6g}, "
+            f"q={self.discipline.buffer_bytes:.6g})"
+        )
+
+
+class Node:
+    """A switching element: per-egress-link finite-buffer output ports."""
+
+    def __init__(self, name, buffer_bytes, discipline="fifo"):
+        if not name:
+            raise ValueError("node name must be non-empty")
+        self.name = name
+        self.buffer_bytes = require_nonnegative(buffer_bytes, "buffer_bytes")
+        self.discipline_name = discipline
+        self.ports = {}
+
+    def attach(self, link, record_series=False):
+        """Create the output port for an egress ``link``; returns it."""
+        if link.src != self.name:
+            raise ValueError(
+                f"link {link.name} does not originate at node {self.name!r}"
+            )
+        if link.dst in self.ports:
+            raise ValueError(f"node {self.name!r} already has a port to {link.dst!r}")
+        port = Port(
+            self.name, link, self.discipline_name, self.buffer_bytes,
+            record_series=record_series,
+        )
+        self.ports[link.dst] = port
+        return port
+
+    def port_to(self, dst):
+        """The output port toward neighbour ``dst`` (raises if absent)."""
+        try:
+            return self.ports[dst]
+        except KeyError:
+            raise KeyError(
+                f"node {self.name!r} has no link toward {dst!r}"
+            ) from None
+
+    def __repr__(self):
+        return (
+            f"Node({self.name!r}, buffer={self.buffer_bytes:.6g}, "
+            f"discipline={self.discipline_name!r}, ports={list(self.ports)})"
+        )

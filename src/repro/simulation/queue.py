@@ -26,6 +26,7 @@ import numpy as np
 
 from repro._validation import as_1d_float_array, require_nonnegative, require_positive
 from repro.obs import metrics, trace
+from repro.simulation.slotfluid import fold_slots
 
 __all__ = ["QueueResult", "simulate_queue", "max_backlog", "zero_loss_capacity"]
 
@@ -100,41 +101,13 @@ def simulate_queue(arrivals, capacity_per_slot, buffer_bytes, return_series=Fals
     c = require_positive(capacity_per_slot, "capacity_per_slot")
     q = require_nonnegative(buffer_bytes, "buffer_bytes")
     loss_series = np.zeros(a.size) if return_series else None
-    backlog = 0.0
-    lost = 0.0
-    peak = 0.0
-    total = 0.0
-    # Tight scalar loop; numpy arrays are indexed through a list for
-    # speed (Python-level float ops beat per-element ndarray access).
-    # The offered total is accumulated in the same left-to-right order
-    # so the streaming fold (repro.stream.queueing) reproduces every
-    # statistic bit-for-bit.
-    values = a.tolist()
+    # The recursion itself lives in repro.simulation.slotfluid, shared
+    # bit-for-bit with the streaming fold (repro.stream.queueing) and
+    # the per-hop disciplines of repro.net.
     with trace.span("queue.simulate", n=a.size, capacity=c, buffer=q):
-        if return_series:
-            for t, arrival in enumerate(values):
-                total += arrival
-                backlog += arrival - c
-                if backlog > q:
-                    overflow = backlog - q
-                    lost += overflow
-                    loss_series[t] = overflow
-                    backlog = q
-                elif backlog < 0.0:
-                    backlog = 0.0
-                if backlog > peak:
-                    peak = backlog
-        else:
-            for arrival in values:
-                total += arrival
-                backlog += arrival - c
-                if backlog > q:
-                    lost += backlog - q
-                    backlog = q
-                elif backlog < 0.0:
-                    backlog = 0.0
-                if backlog > peak:
-                    peak = backlog
+        backlog, lost, peak, total = fold_slots(
+            a.tolist(), c, q, loss_series=loss_series
+        )
     _SLOTS.inc(a.size)
     _LOST.inc(lost)
     return QueueResult(

@@ -21,6 +21,7 @@ import numpy as np
 from repro._validation import require_nonnegative, require_positive
 from repro.obs import metrics
 from repro.simulation.queue import QueueResult
+from repro.simulation.slotfluid import fold_slots
 
 __all__ = ["StreamingQueue", "simulate_queue_stream"]
 
@@ -94,41 +95,20 @@ class StreamingQueue:
             raise ValueError(f"chunk must be one-dimensional, got shape {a.shape}")
         if np.any(a < 0):
             raise ValueError("arrivals must be non-negative")
-        c = self.capacity_per_slot
-        q = self.buffer_bytes
-        backlog = self._backlog
-        lost = self._lost
-        peak = self._peak
-        total = self._total
-        lost_before = lost
+        lost_before = self._lost
         loss_series = np.zeros(a.size) if self.record_loss else None
-        # Identical scalar recursion as simulate_queue's tight loop.
-        values = a.tolist()
+        # The shared recursion (repro.simulation.slotfluid) resumed
+        # from this queue's folded state -- identical arithmetic to
+        # simulate_queue's batch loop for any chunk partition.
+        backlog, lost, peak, total = fold_slots(
+            a.tolist(),
+            self.capacity_per_slot,
+            self.buffer_bytes,
+            state=(self._backlog, self._lost, self._peak, self._total),
+            loss_series=loss_series,
+        )
         if self.record_loss:
-            for t, arrival in enumerate(values):
-                total += arrival
-                backlog += arrival - c
-                if backlog > q:
-                    overflow = backlog - q
-                    lost += overflow
-                    loss_series[t] = overflow
-                    backlog = q
-                elif backlog < 0.0:
-                    backlog = 0.0
-                if backlog > peak:
-                    peak = backlog
             self._loss_chunks.append(loss_series)
-        else:
-            for arrival in values:
-                total += arrival
-                backlog += arrival - c
-                if backlog > q:
-                    lost += backlog - q
-                    backlog = q
-                elif backlog < 0.0:
-                    backlog = 0.0
-                if backlog > peak:
-                    peak = backlog
         self._backlog = backlog
         self._lost = lost
         self._peak = peak

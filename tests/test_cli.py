@@ -467,3 +467,87 @@ class TestExperimentsResilienceFlags:
         assert args.checkpoint_dir is None
         assert args.resume is False
         assert args.max_retries == 0
+
+
+class TestNetCommand:
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["net", "--demo"])
+        assert args.command == "net"
+        assert args.demo is True
+        assert args.workers == 1
+        assert args.record_events is False
+
+    def test_requires_spec_or_demo(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["net"])
+
+    def test_demo_summary(self, capsys):
+        assert main(["net", "--demo", "--frames", "400", "--quiet"]) == 0
+        out = capsys.readouterr().out
+        assert "demo-tandem" in out
+        assert "a->b" in out and "c->d" in out
+        assert "video" in out
+
+    def test_spec_file_json_output(self, tmp_path, capsys):
+        import json as json_mod
+
+        spec = {
+            "slots": 50,
+            "nodes": [{"name": "a", "buffer_bytes": 10.0},
+                      {"name": "b", "buffer_bytes": 0.0}],
+            "links": [{"src": "a", "dst": "b", "capacity_per_slot": 5.0}],
+            "flows": [{"name": "f", "path": ["a", "b"],
+                       "source": {"kind": "array", "values": [4.0] * 50}}],
+        }
+        path = tmp_path / "topo.json"
+        path.write_text(json_mod.dumps(spec))
+        assert main(["net", str(path), "--record-events", "--json", "--quiet"]) == 0
+        doc = json_mod.loads(capsys.readouterr().out)
+        assert doc["spec"] == str(path)
+        assert doc["ports"]["a->b"]["lost_bytes"] == 0.0
+        assert doc["flows"]["f"]["delivered_fraction"] > 0.9
+        assert len(doc["event_trace_sha256"]) == 64
+
+    def test_multiple_specs_sweep(self, tmp_path, capsys):
+        import json as json_mod
+
+        paths = []
+        for i, cap in enumerate((3.0, 5.0)):
+            spec = {
+                "slots": 30,
+                "nodes": [{"name": "a", "buffer_bytes": 4.0},
+                          {"name": "b", "buffer_bytes": 0.0}],
+                "links": [{"src": "a", "dst": "b", "capacity_per_slot": cap}],
+                "flows": [{"name": "f", "path": ["a", "b"],
+                           "source": {"kind": "array", "values": [4.0] * 30}}],
+            }
+            p = tmp_path / f"t{i}.json"
+            p.write_text(json_mod.dumps(spec))
+            paths.append(str(p))
+        assert main(["net", *paths, "--json", "--quiet"]) == 0
+        docs = json_mod.loads(capsys.readouterr().out)
+        assert [d["spec"] for d in docs] == paths
+        # cap=3 loses fluid every slot; cap=5 never does.
+        assert docs[0]["flows"]["f"]["loss_rate"] > 0.0
+        assert docs[1]["flows"]["f"]["loss_rate"] == 0.0
+
+    @pytest.mark.parametrize("content", [
+        "not json",
+        '{"slots": 100, "nodes": [], "links": [], "flows": []}',
+        '{"slots": 10, "nodes": [{"buffer_bytes": 1.0}],'
+        ' "links": [{"src": "a", "dst": "b", "capacity_per_slot": 5.0}],'
+        ' "flows": [{"name": "f", "path": ["a", "b"],'
+        ' "source": {"kind": "array", "values": [1.0]}}]}',
+    ])
+    def test_bad_spec_is_user_error(self, tmp_path, capsys, content):
+        """Invalid JSON, empty topology, missing key: error line, exit 2."""
+        path = tmp_path / "bad.json"
+        path.write_text(content)
+        assert main(["net", str(path), "--quiet"]) == 2
+        err = capsys.readouterr().err
+        assert "error:" in err
+        assert "Traceback" not in err
+
+    def test_missing_spec_file_is_user_error(self, tmp_path, capsys):
+        assert main(["net", str(tmp_path / "nope.json"), "--quiet"]) == 2
+        assert "error:" in capsys.readouterr().err

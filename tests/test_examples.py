@@ -94,9 +94,16 @@ class TestExamples:
         assert "pool tasks merged back into the parent registry" in out
         assert "cached == uncached bit-for-bit" in out
 
+    def test_tandem_queue(self):
+        out = run_example("tandem_queue.py", "--frames", "1500")
+        assert "bit-for-bit" in out
+        assert "3-hop tandem" in out
+        assert "priority and wfq shield the video class" in out
+        assert "identical results" in out
+
     def test_resilient_campaign(self):
         out = run_example("resilient_campaign.py")
         assert "killed" in out
         assert "resumed from digest-verified checkpoints" in out
-        assert "21/21 experiments completed" in out
+        assert "23/23 experiments completed" in out
         assert "matches the injected fault plan exactly" in out

@@ -31,6 +31,8 @@ from repro.experiments import (
     fig15_smg,
     fig16_model_vs_trace,
     fig17_loss_process,
+    fig_net_hurst_hops,
+    fig_net_tandem,
     table1,
     table2,
     table3,
@@ -70,6 +72,8 @@ EXPERIMENTS = {
         t, n_sources=(1, 5), n_frames=8_000, n_buffers=6
     ),
     "fig17_loss_process": lambda t: fig17_loss_process.run(t, n_frames=8_000),
+    "fig_net_tandem": lambda t: fig_net_tandem.run(t, n_frames=3_000, n_points=4),
+    "fig_net_hurst_hops": lambda t: fig_net_hurst_hops.run(t, n_frames=6_000),
 }
 
 

@@ -1,0 +1,182 @@
+"""repro.net core: event scheduler, disciplines, slot-fluid helper."""
+
+import numpy as np
+import pytest
+
+from repro.net import (
+    EventScheduler,
+    FIFODiscipline,
+    PHASE_ARRIVAL,
+    PriorityDiscipline,
+    WFQDiscipline,
+    make_discipline,
+)
+from repro.simulation.slotfluid import clamp_backlog, fold_slots, slot_step
+
+
+class TestEventScheduler:
+    def test_dispatches_in_time_order(self):
+        sched = EventScheduler()
+        seen = []
+        for t in (3.0, 1.0, 2.0):
+            sched.schedule(t, seen.append, t)
+        sched.run()
+        assert seen == [1.0, 2.0, 3.0]
+
+    def test_fifo_tie_break_at_equal_time(self):
+        sched = EventScheduler()
+        seen = []
+        for i in range(50):
+            sched.schedule(1.0, seen.append, i)
+        sched.run()
+        assert seen == list(range(50))
+
+    def test_arrival_phase_precedes_service_phase(self):
+        sched = EventScheduler()
+        seen = []
+        sched.schedule(1.0, seen.append, "service")
+        sched.schedule(1.0, seen.append, "arrival", phase=PHASE_ARRIVAL)
+        sched.run()
+        assert seen == ["arrival", "service"]
+
+    def test_events_scheduled_during_run_are_honoured(self):
+        sched = EventScheduler()
+        seen = []
+
+        def chain(k):
+            seen.append(k)
+            if k < 4:
+                sched.schedule(sched.now + 1.0, chain, k + 1)
+
+        sched.schedule(0.0, chain, 0)
+        sched.run()
+        assert seen == [0, 1, 2, 3, 4]
+
+    def test_until_horizon_is_exclusive(self):
+        sched = EventScheduler()
+        seen = []
+        for t in (0.0, 1.0, 2.0):
+            sched.schedule(t, seen.append, t)
+        sched.run(until=2.0)
+        assert seen == [0.0, 1.0]
+
+    def test_scheduling_into_the_past_raises(self):
+        sched = EventScheduler()
+        sched.schedule(2.0, lambda: None)
+        sched.run()
+        with pytest.raises(ValueError, match="past"):
+            sched.schedule(1.0, lambda: None)
+
+    def test_trace_records_dispatch_order(self):
+        sched = EventScheduler(record_trace=True)
+        sched.schedule(1.0, lambda: None, label="b")
+        sched.schedule(0.0, lambda: None, label="a")
+        sched.run()
+        assert [e[3] for e in sched.trace] == ["a", "b"]
+        assert sched.events_dispatched == 2
+
+
+class TestSlotFluidHelpers:
+    def test_fold_slots_matches_repeated_slot_step(self, rng):
+        arrivals = rng.gamma(2.0, 400.0, size=300)
+        c, q = 900.0, 2_500.0
+        backlog = lost = peak = total = 0.0
+        losses = []
+        for a in arrivals:
+            total += a
+            backlog, _, drop = slot_step(backlog, a, c, q)
+            lost += drop
+            losses.append(drop)
+            peak = max(peak, backlog)
+        series = np.zeros(arrivals.size)
+        state = fold_slots(arrivals.tolist(), c, q, loss_series=series)
+        assert state == (backlog, lost, peak, total)
+        assert series.tolist() == losses
+
+    def test_clamp_backlog_overflow_and_floor(self):
+        assert clamp_backlog(5.0, 3.0) == (3.0, 2.0)
+        assert clamp_backlog(-1.0, 3.0) == (0.0, 0.0)
+        assert clamp_backlog(2.0, 3.0) == (2.0, 0.0)
+
+
+class TestDisciplines:
+    def test_fifo_single_flow_is_the_slot_recursion(self, rng):
+        arrivals = rng.gamma(2.0, 500.0, size=200)
+        c, q = 1_100.0, 3_000.0
+        disc = FIFODiscipline(c, q)
+        disc.register("f")
+        backlog = 0.0
+        for a in arrivals:
+            expect_backlog, expect_served, expect_lost = slot_step(backlog, a, c, q)
+            result = disc.step({"f": float(a)})
+            assert result.backlog == expect_backlog
+            assert result.served_total == expect_served
+            assert result.lost_total == expect_lost
+            backlog = expect_backlog
+
+    def test_fifo_multi_flow_conserves_and_apportions(self):
+        disc = FIFODiscipline(10.0, 5.0)
+        disc.register("a")
+        disc.register("b")
+        result = disc.step({"a": 12.0, "b": 6.0})
+        # Aggregate follows the recursion: serve 10, keep 5, drop 3.
+        assert result.served_total == 10.0
+        assert result.backlog == 5.0
+        assert result.lost_total == pytest.approx(3.0)
+        # Proportional split: a has 2/3 of the fluid.
+        assert result.served["a"] == pytest.approx(result.served["b"] * 2.0)
+        offered = 18.0
+        accounted = (
+            result.served_total + result.lost_total + disc.backlog
+        )
+        assert accounted == pytest.approx(offered)
+
+    def test_priority_protects_high_class(self):
+        disc = PriorityDiscipline(10.0, 4.0)
+        disc.register("hi", priority=0)
+        disc.register("lo", priority=1)
+        result = disc.step({"hi": 8.0, "lo": 12.0})
+        assert result.served["hi"] == 8.0
+        assert result.served["lo"] == 2.0
+        # 10 bytes of low left vs a 4-byte buffer: the 6-byte overflow
+        # is pushed out of the low class only.
+        assert result.lost == {"lo": pytest.approx(6.0)}
+        assert disc.backlog == pytest.approx(4.0)
+
+    def test_wfq_divides_by_weight_and_is_work_conserving(self):
+        disc = WFQDiscipline(12.0, 100.0)
+        disc.register("a", weight=2.0)
+        disc.register("b", weight=1.0)
+        result = disc.step({"a": 20.0, "b": 20.0})
+        assert result.served["a"] == pytest.approx(8.0)
+        assert result.served["b"] == pytest.approx(4.0)
+        # Work conservation: a's unused share flows to b.
+        disc2 = WFQDiscipline(12.0, 100.0)
+        disc2.register("a", weight=2.0)
+        disc2.register("b", weight=1.0)
+        result = disc2.step({"a": 2.0, "b": 20.0})
+        assert result.served["a"] == pytest.approx(2.0)
+        assert result.served["b"] == pytest.approx(10.0)
+
+    def test_unregistered_flow_is_rejected(self):
+        disc = make_discipline("fifo", 10.0, 5.0)
+        with pytest.raises(KeyError, match="never registered"):
+            disc.step({"ghost": 1.0})
+
+    def test_duplicate_registration_is_rejected(self):
+        disc = make_discipline("wfq", 10.0, 5.0)
+        disc.register("f")
+        with pytest.raises(ValueError, match="already registered"):
+            disc.register("f")
+
+    def test_unknown_discipline_name(self):
+        with pytest.raises(ValueError, match="discipline"):
+            make_discipline("lifo", 10.0, 5.0)
+
+    @pytest.mark.parametrize("name", ["fifo", "priority", "wfq"])
+    def test_non_finite_parameters_are_rejected(self, name):
+        for bad in (float("nan"), float("inf")):
+            with pytest.raises(ValueError):
+                make_discipline(name, bad, 5.0)
+            with pytest.raises(ValueError):
+                make_discipline(name, 10.0, bad)

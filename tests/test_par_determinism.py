@@ -176,3 +176,51 @@ class TestCampaignInvariance:
             assert len(digests[workers]) == 7
         assert digests[2] == digests[1]
         assert digests[5] == digests[1]
+
+
+class TestNetSweepInvariance:
+    """Topology sweeps: same specs => byte-identical runs at any width."""
+
+    @staticmethod
+    def _specs():
+        import numpy as np
+
+        specs = []
+        for i in range(4):
+            rng = np.random.default_rng(100 + i)
+            arrivals = rng.gamma(2.0, 600.0, size=300).tolist()
+            specs.append({
+                "slots": 300,
+                "nodes": [{"name": n, "buffer_bytes": 3_000.0} for n in "abc"],
+                "links": [
+                    {"src": "a", "dst": "b", "capacity_per_slot": 1_200.0 + 40.0 * i},
+                    {"src": "b", "dst": "c", "capacity_per_slot": 1_150.0,
+                     "delay_slots": 1},
+                ],
+                "flows": [{"name": "f", "path": ["a", "b", "c"],
+                           "source": {"kind": "array", "values": arrivals}}],
+                "record_events": True,
+            })
+        return specs
+
+    def test_event_traces_and_metrics_identical_across_workers(self):
+        from repro.net import sweep_topologies
+
+        def dump(results):
+            # Everything a run reports, serialized byte-for-byte.
+            return json.dumps(
+                [
+                    {
+                        "trace": r["event_trace_sha256"],
+                        "ports": r["ports"],
+                        "flows": r["flows"],
+                        "events": r["events"],
+                    }
+                    for r in results
+                ],
+                sort_keys=True,
+            ).encode()
+
+        reference = dump(sweep_topologies(self._specs(), workers=1))
+        for workers in WORKER_COUNTS[1:]:
+            assert dump(sweep_topologies(self._specs(), workers=workers)) == reference

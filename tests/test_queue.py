@@ -63,6 +63,16 @@ class TestSimulateQueue:
         with pytest.raises(ValueError):
             simulate_queue([1.0], 0.0, 1.0)
 
+    @pytest.mark.parametrize("bad", [float("nan"), float("inf"), float("-inf")])
+    def test_rejects_non_finite_capacity(self, bad):
+        with pytest.raises(ValueError):
+            simulate_queue([1.0, 2.0], bad, 1.0)
+
+    @pytest.mark.parametrize("bad", [float("nan"), float("inf"), float("-inf")])
+    def test_rejects_non_finite_buffer(self, bad):
+        with pytest.raises(ValueError):
+            simulate_queue([1.0, 2.0], 1.0, bad)
+
 
 class TestMaxBacklog:
     def test_matches_infinite_buffer_simulation(self, rng):

@@ -267,6 +267,13 @@ class TestStreamingQueue:
         with pytest.raises(ValueError):
             StreamingQueue(1.0, 1.0).push(np.array([-1.0]))
 
+    @pytest.mark.parametrize("bad", [float("nan"), float("inf")])
+    def test_rejects_non_finite_parameters(self, bad):
+        with pytest.raises(ValueError):
+            StreamingQueue(bad, 1.0)
+        with pytest.raises(ValueError):
+            StreamingQueue(1.0, bad)
+
 
 class TestMultiplexLagged:
     @given(
