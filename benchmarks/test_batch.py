@@ -1,0 +1,164 @@
+"""Batched-synthesis and vectorized-queue speedup benchmarks.
+
+Two fast paths landed behind the bit-exact defaults; these benchmarks
+record the speedup each one delivers over the reference path it
+replaces, folding the ratios into ``BENCH_stream.json`` (merged by
+name with the throughput entries of ``test_stream.py``):
+
+- ``batched_synthesis_speedup_b64``: 64 independent fGn traces through
+  one stacked 2-D FFT (``batch_fgn_pool`` with batch-per-worker)
+  versus the per-task loop the pool ran before (fresh generator,
+  fresh spectral profile, one FFT per trace).  The win is
+  dispatch-bound, so it is measured where batching is aimed: many
+  short traces.  A companion entry at a streaming-scale block length
+  records the honest large-``n`` ratio, where the per-row Gaussian
+  draws and the FFT dominate both sides.
+- ``vectorized_queue_speedup_10m``: the reflection-identity kernel
+  versus the pure-python slot loop on the 10M-sample lossy operating
+  point of ``test_stream.py``'s bounded-memory acceptance run.
+
+Both measure best-of-N in one process so CPU frequency scaling hits
+both sides alike; the budgets are floors on the *ratio*, which is far
+more stable than either absolute rate.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.core.transform import marginal_transform
+from repro.distributions.hybrid import GammaParetoHybrid
+from repro.obs.bench import write_bench
+from repro.par.batch import batch_fgn_pool
+from repro.simulation.slotfluid import run_slots
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+TARGET = GammaParetoHybrid(27_791.0, 6_254.0, 12.0)
+
+_ENTRIES = []
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _record_bench():
+    """Merge the measured ratios into BENCH_stream.json after the run."""
+    yield
+    if not _ENTRIES:
+        return
+    write_bench(
+        REPO_ROOT / "BENCH_stream.json", _ENTRIES,
+        generated_at=os.environ.get("BENCH_TIMESTAMP"),
+    )
+
+
+def _best_of(func, rounds):
+    best = float("inf")
+    for _ in range(rounds):
+        start = time.perf_counter()
+        func()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+class TestBatchedSynthesisSpeedup:
+    B = 64
+
+    def _speedup(self, n, rounds=5):
+        reference = batch_fgn_pool(n, 0.8, self.B, seed=0, batch=1)
+        batched = batch_fgn_pool(n, 0.8, self.B, seed=0, batch=self.B)
+        np.testing.assert_array_equal(batched, reference)  # never a trade
+        loop_s = _best_of(
+            lambda: batch_fgn_pool(n, 0.8, self.B, seed=0, batch=1), rounds
+        )
+        batch_s = _best_of(
+            lambda: batch_fgn_pool(n, 0.8, self.B, seed=0, batch=self.B), rounds
+        )
+        return loop_s, batch_s
+
+    def test_dispatch_bound_blocks(self):
+        """B=64 short traces: the regime stacking exists for."""
+        n = 128
+        loop_s, batch_s = self._speedup(n)
+        speedup = loop_s / batch_s
+        _ENTRIES.append({
+            "name": "batched_synthesis_speedup_b64",
+            "value": round(speedup, 2),
+            "unit": "x",
+            "higher_is_better": True,
+            "budget": 5.0,
+            "context": {
+                "batch": self.B, "n": n, "backend": "paxson",
+                "loop_seconds": round(loop_s, 4),
+                "batched_seconds": round(batch_s, 4),
+            },
+        })
+        assert speedup > 3.0  # hard floor even on a noisy machine
+
+    def test_streaming_scale_blocks(self):
+        """B=64 FFT-bound traces: the honest large-n ratio (no budget --
+        draws and FFT dominate both sides, so the gain is modest)."""
+        n = 4_096
+        loop_s, batch_s = self._speedup(n, rounds=3)
+        speedup = loop_s / batch_s
+        _ENTRIES.append({
+            "name": "batched_synthesis_speedup_b64_4k",
+            "value": round(speedup, 2),
+            "unit": "x",
+            "higher_is_better": True,
+            "context": {
+                "batch": self.B, "n": n, "backend": "paxson",
+                "loop_seconds": round(loop_s, 4),
+                "batched_seconds": round(batch_s, 4),
+            },
+        })
+        assert speedup > 1.2
+
+
+class TestVectorizedQueueSpeedup:
+    def test_ten_million_bounded_operating_point(self):
+        """The acceptance run's exact workload: transformed Paxson fGn
+        through the lossy (c = 1.1 mean, Q = 20 mean) queue."""
+        n = 10_000_000
+        from repro.core.paxson import PaxsonGenerator
+
+        raw = PaxsonGenerator(0.8).generate(n, rng=np.random.default_rng(4))
+        arrivals = marginal_transform(raw, TARGET, method="table")
+        capacity = 1.1 * 27_791.0
+        buffer_bytes = 20.0 * 27_791.0
+
+        reference = run_slots(arrivals, capacity, buffer_bytes,
+                              kernel="reference")
+        vectorized = run_slots(arrivals, capacity, buffer_bytes,
+                               kernel="vectorized")
+        np.testing.assert_allclose(vectorized, reference, rtol=1e-9,
+                                   atol=1e-6)
+        assert reference[1] > 0.0  # a live lossy operating point
+
+        ref_s = _best_of(
+            lambda: run_slots(arrivals, capacity, buffer_bytes,
+                              kernel="reference"), 3
+        )
+        vec_s = _best_of(
+            lambda: run_slots(arrivals, capacity, buffer_bytes,
+                              kernel="vectorized"), 3
+        )
+        speedup = ref_s / vec_s
+        _ENTRIES.append({
+            "name": "vectorized_queue_speedup_10m",
+            "value": round(speedup, 2),
+            "unit": "x",
+            "higher_is_better": True,
+            "budget": 2.0,
+            "context": {
+                "samples": n,
+                "reference_seconds": round(ref_s, 3),
+                "vectorized_seconds": round(vec_s, 3),
+                "capacity_per_slot": capacity,
+                "buffer_bytes": buffer_bytes,
+            },
+        })
+        assert speedup > 2.0

@@ -101,7 +101,10 @@ class TestBackendThroughput:
         stream = Stream.from_source(
             HoskingSource(hurst=0.8), n, chunk, rng=np.random.default_rng(2)
         ).transform(TARGET, method="table")
-        moments, _ = _timed_drain(stream, n, "hosking_transformed_16k")
+        # ~28k samples/s on the reference machine; the floor sits well
+        # below so only an order-of-magnitude regression trips it.
+        moments, _ = _timed_drain(stream, n, "hosking_transformed_16k",
+                                  budget=8_000)
         assert moments.mean == pytest.approx(27_791.0, rel=0.1)
 
     def test_parallel_sources(self):

@@ -15,6 +15,7 @@ produced in two steps:
    Hurst parameter) while imposing the heavy-tailed marginal.
 """
 
+from repro.core.batch import BATCH_BACKENDS, batch_fgn, batch_generate, batch_row_seeds
 from repro.core.fractional import (
     d_from_hurst,
     hurst_from_d,
@@ -38,6 +39,10 @@ from repro.core.spectral import SpectralGenerator, spectral_fgn, fgn_spectral_de
 from repro.core.markov_fluid import MarkovFluidModel
 
 __all__ = [
+    "BATCH_BACKENDS",
+    "batch_fgn",
+    "batch_generate",
+    "batch_row_seeds",
     "d_from_hurst",
     "hurst_from_d",
     "farima_acf",

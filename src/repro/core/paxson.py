@@ -102,11 +102,17 @@ class PaxsonGenerator:
         # and sqrt/scale are re-derived from it identically either way.
         # variance deliberately stays out of the key so every variance
         # shares one entry.
+        # The Nyquist entry (2 pi (n/2)) / n can round one ulp ABOVE pi
+        # for some n (26, 52, ...); clamp it back so those lengths
+        # synthesize instead of tripping the density's domain check.
+        # Frequencies that already round to <= pi are untouched, so
+        # every previously-working length keeps bit-identical output.
         f = _cache.memoized(
             "paxson.spectral_density",
             {"hurst": self.hurst, "n": n},
             lambda: fgn_spectral_density(
-                2.0 * np.pi * np.arange(1, half + 1) / n, self.hurst
+                np.minimum(2.0 * np.pi * np.arange(1, half + 1) / n, np.pi),
+                self.hurst,
             ),
         )
         # E[X_t^2] of the synthesized path is (2 sum_{j<n/2} f_j + f_{n/2}) / n

@@ -36,7 +36,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro._validation import require_nonnegative, require_positive
-from repro.simulation.slotfluid import clamp_backlog, slot_step
+from repro.simulation.slotfluid import clamp_backlog, run_slots, slot_step
 
 __all__ = [
     "StepResult",
@@ -135,6 +135,36 @@ class FIFODiscipline(Discipline):
     @property
     def backlog(self):
         return self._backlog
+
+    def step_many(self, values, kernel=None):
+        """Advance many slots at once for a single-flow port.
+
+        ``values`` is the per-slot arrival array for the port's one
+        registered flow; the port's backlog is advanced through
+        :func:`repro.simulation.slotfluid.run_slots` under the chosen
+        ``kernel`` (``"reference"`` reproduces a ``step()`` loop bit for
+        bit; ``"vectorized"`` is the statistically-equivalent fast
+        path).  Per-slot served volumes are not materialized -- this is
+        the bulk path for hops whose downstream effects are not being
+        traced slot by slot.  Returns a dict with the aggregate
+        ``backlog``, ``lost``, ``peak`` and ``offered`` totals over the
+        advanced slots.
+        """
+        classes = self._classes
+        if len(classes) != 1:
+            raise ValueError(
+                f"step_many needs exactly one registered flow, "
+                f"got {len(classes)}"
+            )
+        backlog, lost, peak, offered = run_slots(
+            values, self.capacity_per_slot, self.buffer_bytes,
+            state=(self._backlog, 0.0, self._backlog, 0.0), kernel=kernel,
+        )
+        self._backlog = backlog
+        (cls,) = classes.values()
+        cls.backlog = backlog
+        return {"backlog": backlog, "lost": lost, "peak": peak,
+                "offered": offered}
 
     def step(self, arrivals):
         self._check_arrivals(arrivals)

@@ -29,7 +29,9 @@ of a JSON file -- the ``repro net`` CLI input):
 Source kinds: ``array`` (explicit per-slot values), ``trace`` (the
 calibrated Star-Wars-like synthesizer), ``fgn`` (a constant-memory
 :mod:`repro.stream` source, optionally pushed through the paper's
-Gamma/Pareto marginal).  Every random draw happens in a seeded
+Gamma/Pareto marginal; an optional ``batch`` key pre-synthesizes that
+many blocks per stacked FFT, changing nothing in the emitted bytes).
+Every random draw happens in a seeded
 generator owned by the flow, so a spec is a complete, reproducible
 description of a run: same spec, same bytes.
 
@@ -252,11 +254,13 @@ def _flow_source(source, slots, start_slot):
 
         from repro.stream.sources import make_source
 
+        batch = source.get("batch")
         src = make_source(
             source.get("backend", "paxson"),
             hurst=float(source.get("hurst", 0.8)),
             block_size=int(source.get("block_size", 65_536)),
             overlap=int(source.get("overlap", 1_024)),
+            batch=None if batch is None else int(batch),
         )
         rng = np.random.default_rng(int(source.get("seed", 0)))
         chunk = int(source.get("chunk", 8_192))

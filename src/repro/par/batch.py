@@ -1,0 +1,102 @@
+"""Batch-per-worker fGn synthesis and the process-wide batch default.
+
+:func:`repro.core.batch.batch_fgn` turns B independent traces into one
+stacked 2-D FFT; this module decides *how many rows ride together*:
+
+- :func:`default_batch` / :func:`set_default_batch` hold the process
+  default (seeded from ``REPRO_BATCH``), consulted by every batch-aware
+  path (``shard_fgn``, ``BlockFGNSource``, the CLI ``--batch`` flag)
+  when the caller passes ``batch=None``.
+- :func:`batch_fgn_pool` generates a fleet of independent traces on the
+  :func:`repro.par.pool.pool_map` pool, **batch-per-worker** instead of
+  trace-per-worker: each task synthesizes one stacked batch of rows, so
+  the FFT amortization and the process fan-out compose.
+
+Trace ``i`` always draws from
+``default_rng(derive_task_seed(seed, i, label="batch"))`` no matter how
+rows are grouped into batches or spread over workers — grouping is a
+pure execution strategy, and the tier-1 wall pins the fleet bit-for-bit
+across ``batch`` x ``workers`` combinations.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+from repro._validation import require_positive_int
+
+__all__ = [
+    "default_batch",
+    "set_default_batch",
+    "resolve_batch",
+    "batch_fgn_pool",
+]
+
+_DEFAULT_BATCH = max(int(os.environ.get("REPRO_BATCH", "1")), 1)
+
+
+def default_batch():
+    """The process-wide batch size used when a caller passes ``batch=None``."""
+    return _DEFAULT_BATCH
+
+
+def set_default_batch(batch):
+    """Set the process default batch size; returns the previous value."""
+    global _DEFAULT_BATCH
+    previous = _DEFAULT_BATCH
+    _DEFAULT_BATCH = require_positive_int(batch, "batch")
+    return previous
+
+
+def resolve_batch(batch):
+    """Normalize a ``batch=`` argument (``None`` -> the process default)."""
+    if batch is None:
+        return _DEFAULT_BATCH
+    return require_positive_int(batch, "batch")
+
+
+def _batch_task(item, common):
+    """Pool task: one stacked batch of rows with explicit per-row seeds."""
+    from repro.core.batch import batch_fgn
+
+    start, seeds = item
+    return batch_fgn(
+        common["n"], common["hurst"], len(seeds),
+        backend=common["backend"], variance=common["variance"],
+        seeds=seeds,
+    )
+
+
+def batch_fgn_pool(n, hurst, count, *, backend="paxson", variance=1.0,
+                   seed=0, batch=None, workers=1):
+    """Synthesize ``count`` independent fGn traces, batch-per-worker.
+
+    Returns a ``(count, n)`` array whose row ``i`` is bit-identical to
+    ``batch_fgn(n, hurst, count, seed=seed)[i]`` — and hence to the
+    single-trace generator under
+    ``default_rng(derive_task_seed(seed, i, label="batch"))`` — for
+    every ``(batch, workers)`` combination.  ``batch`` rows ride each
+    pool task (``None`` uses :func:`default_batch`), so one worker
+    performs one stacked FFT per task instead of one FFT per trace.
+    """
+    from repro.core.batch import batch_row_seeds
+    from repro.par.pool import pool_map
+
+    n = require_positive_int(n, "n")
+    count = require_positive_int(count, "count")
+    batch = resolve_batch(batch)
+    seeds = batch_row_seeds(seed, count)
+    items = [
+        (start, seeds[start : start + batch])
+        for start in range(0, count, batch)
+    ]
+    groups = pool_map(
+        _batch_task, items,
+        workers=workers,
+        common={"n": n, "hurst": float(hurst), "variance": float(variance),
+                "backend": backend},
+        label="batch",
+    )
+    return np.concatenate(groups, axis=0)

@@ -94,8 +94,27 @@ def _synthesize_shard(item, task_seed):
     return raw
 
 
+def _synthesize_shard_batch(item, common):
+    """Pool task: a stacked batch of equal-length shards.
+
+    ``item`` is ``(raw_len, seeds)`` with one sha256-derived seed per
+    shard; :func:`repro.core.batch.batch_fgn` guarantees each row is
+    bit-identical to the single-shard call under the same seed, so
+    batching shards per worker never changes the assembled path.
+    """
+    from repro.core.batch import batch_fgn
+
+    raw_len, seeds = item
+    rows = batch_fgn(
+        raw_len, common["hurst"], len(seeds),
+        backend=common["backend"], variance=common["variance"], seeds=seeds,
+    )
+    _SHARDS.inc(len(seeds))
+    return rows
+
+
 def shard_fgn(n, hurst, *, backend="paxson", variance=1.0, seed=0,
-              shard_size=65_536, overlap=1_024, workers=1):
+              shard_size=65_536, overlap=1_024, workers=1, batch=None):
     """Generate an fGn path of length ``n``, sharded across workers.
 
     Parameters
@@ -118,6 +137,12 @@ def shard_fgn(n, hurst, *, backend="paxson", variance=1.0, seed=0,
     workers:
         Process count for shard synthesis (via
         :func:`repro.par.pool.pool_map`).
+    batch:
+        Shards synthesized per pool task as one stacked 2-D FFT
+        (``None`` uses :func:`repro.par.batch.default_batch`).  Shard
+        ``i`` keeps its ``derive_task_seed(seed, i, label="shard")``
+        rng whatever the grouping, so ``batch`` — like ``workers`` —
+        changes wall-clock time and nothing else.
 
     Returns the assembled float64 path of exactly ``n`` samples.
     """
@@ -145,16 +170,44 @@ def shard_fgn(n, hurst, *, backend="paxson", variance=1.0, seed=0,
         _SHARDS.inc()
         return path
 
+    from repro.par.batch import resolve_batch
+
+    batch = resolve_batch(batch)
     plan = shard_plan(n, shard_size)
-    items = [
-        (backend, float(hurst), float(variance), length + overlap)
-        for _, length in plan
-    ]
     with trace.span("par.shard_fgn", backend=backend, n=n, shards=len(plan)):
-        raws = pool_map(
-            _synthesize_shard, items,
-            workers=workers, base_seed=int(seed), label="shard",
-        )
+        if batch == 1:
+            items = [
+                (backend, float(hurst), float(variance), length + overlap)
+                for _, length in plan
+            ]
+            raws = pool_map(
+                _synthesize_shard, items,
+                workers=workers, base_seed=int(seed), label="shard",
+            )
+        else:
+            # Group consecutive equal-length shards (every shard but a
+            # short final one shares raw_len) into stacked batches; the
+            # per-shard seeds ride inside the items, bit-identical to
+            # the ones pool_map would derive on the batch=1 path.
+            from repro.par.pool import derive_task_seed
+
+            groups = []
+            for shard_i, (_, length) in enumerate(plan):
+                raw_len = length + overlap
+                shard_seed = derive_task_seed(int(seed), shard_i, label="shard")
+                if (groups and groups[-1][0] == raw_len
+                        and len(groups[-1][1]) < batch):
+                    groups[-1][1].append(shard_seed)
+                else:
+                    groups.append((raw_len, [shard_seed]))
+            stacks = pool_map(
+                _synthesize_shard_batch, groups,
+                workers=workers,
+                common={"hurst": float(hurst), "variance": float(variance),
+                        "backend": backend},
+                label="shard_batch",
+            )
+            raws = [row for stack in stacks for row in stack]
         w_old, w_new = blend_weights(overlap)
         out = np.empty(n)
         prev_tail = None

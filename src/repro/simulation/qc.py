@@ -28,7 +28,12 @@ from repro._validation import (
     require_positive_int,
 )
 from repro.simulation.metrics import worst_errored_second_loss
-from repro.simulation.multiplex import multiplex_many, multiplex_series, random_lags
+from repro.simulation.multiplex import (
+    multiplex_fgn,
+    multiplex_many,
+    multiplex_series,
+    random_lags,
+)
 from repro.simulation.queue import max_backlog, simulate_queue, zero_loss_capacity
 
 __all__ = [
@@ -125,6 +130,51 @@ def required_capacity(
     return hi
 
 
+def _fgn_arrival_sets(fgn_sources, n, n_sources, n_draws, batch, seed_label,
+                      start=0):
+    """Independent-source aggregate arrivals, one per draw.
+
+    ``fgn_sources`` holds the model parameters (``hurst`` required;
+    ``backend``, ``variance``, ``seed``, ``marginal`` or affine
+    ``mean``/``std`` optional); each draw batch-synthesizes
+    ``n_sources`` fresh fGn paths through
+    :func:`repro.simulation.multiplex.multiplex_fgn` under a
+    sha256-derived per-draw seed, so the sets are a pure function of
+    the parameters — independent of ``batch`` and ``workers``.
+    """
+    from repro.par.pool import derive_task_seed
+
+    params = dict(fgn_sources)
+    try:
+        hurst = params.pop("hurst")
+    except KeyError:
+        raise ValueError('fgn_sources must name a "hurst"') from None
+    backend = params.pop("backend", "paxson")
+    variance = float(params.pop("variance", 1.0))
+    seed = int(params.pop("seed", 0))
+    marginal = params.pop("marginal", None)
+    mean = float(params.pop("mean", 0.0))
+    std = float(params.pop("std", 1.0))
+    if params:
+        raise ValueError(f"unknown fgn_sources keys {sorted(params)}")
+    sets = []
+    for draw in range(n_draws):
+        aggregate = multiplex_fgn(
+            n, hurst, n_sources,
+            backend=backend, variance=variance,
+            seed=derive_task_seed(seed, start + draw, label=seed_label),
+            batch=batch, marginal=marginal,
+        )
+        if marginal is None:
+            # Affine per-source scaling commutes with the sum
+            # (sum_i (mean + std x_i) = N mean + std sum_i x_i); the
+            # Gaussian marginal is truncated at zero -- negative bytes
+            # are unphysical and the queue rejects them.
+            aggregate = np.maximum(n_sources * mean + std * aggregate, 0.0)
+        sets.append(aggregate)
+    return sets
+
+
 def _qc_point_task(c_total, common):
     """Pool task: the minimum buffer for one capacity grid point."""
     return required_buffer(
@@ -180,6 +230,8 @@ def qc_curve(
     rng=None,
     capacity_span=(1.01, 1.0),
     workers=1,
+    fgn_sources=None,
+    batch=None,
 ):
     """Compute a Q-C curve for ``n_sources`` multiplexed copies.
 
@@ -215,6 +267,18 @@ def qc_curve(
         Process count for the per-capacity buffer searches (and the lag
         multiplexing).  All randomness is drawn before the fan-out, so
         the curve is bit-identical at every worker count.
+    fgn_sources:
+        Replace the paper's lagged-copy multiplexing with ``n_sources``
+        *independent* batch-synthesized fGn sources per draw (a dict
+        for :func:`_fgn_arrival_sets`: ``hurst`` required; ``backend``,
+        ``variance``, ``seed``, ``marginal`` — e.g. the Gamma/Pareto
+        hybrid — or affine ``mean``/``std`` optional).  ``series``
+        still anchors the capacity grid.  The caller's ``rng`` is not
+        consumed: the draws are seeded from ``fgn_sources["seed"]``.
+    batch:
+        Rows per stacked synthesis for ``fgn_sources`` mode (``None``
+        uses :func:`repro.par.batch.default_batch`); never affects the
+        curve's values.
     """
     arr = as_1d_float_array(series, "series")
     slot_seconds = require_positive(slot_seconds, "slot_seconds")
@@ -224,11 +288,16 @@ def qc_curve(
         rng = np.random.default_rng()
     slots_per_second = max(int(round(1.0 / slot_seconds)), 1)
     n_draws = 1 if n_sources == 1 else n_lag_draws
-    lag_sets = [
-        random_lags(n_sources, arr.size, min_separation=min_separation, rng=rng)
-        for _ in range(n_draws)
-    ]
-    arrival_sets = multiplex_many(arr, lag_sets, workers=workers)
+    if fgn_sources is not None:
+        arrival_sets = _fgn_arrival_sets(
+            fgn_sources, arr.size, n_sources, n_draws, batch, "qc.fgn"
+        )
+    else:
+        lag_sets = [
+            random_lags(n_sources, arr.size, min_separation=min_separation, rng=rng)
+            for _ in range(n_draws)
+        ]
+        arrival_sets = multiplex_many(arr, lag_sets, workers=workers)
     mean_rate = float(np.mean(arr))
     peak_rate = float(np.max(arr))
     if capacities is None:
@@ -295,11 +364,13 @@ def knee_point(curve, floor_ms=1e-3):
 def _smg_capacity_task(item, common):
     """Pool task: bisect the per-source capacity for one value of ``N``.
 
-    ``item`` is ``(n, lag_sets)``; the lags were drawn in the parent, so
+    ``item`` is ``(n, lag_sets, prebuilt)``; exactly one of the last
+    two is ``None``.  Lag draws (and, in ``fgn_sources`` mode, the
+    prebuilt independent-source aggregates) happen in the parent, so
     this function is deterministic and the SMG curve is identical at
     every worker count.
     """
-    n, lag_sets = item
+    n, lag_sets, prebuilt = item
     arr = common["series"]
     slot_seconds = common["slot_seconds"]
     slots_per_second = common["slots_per_second"]
@@ -309,7 +380,10 @@ def _smg_capacity_task(item, common):
     rel_tol = common["rel_tol"]
     mean_rate = common["mean_rate"]
     peak_rate = common["peak_rate"]
-    arrival_sets = [multiplex_series(arr, lags) for lags in lag_sets]
+    if prebuilt is not None:
+        arrival_sets = list(prebuilt)
+    else:
+        arrival_sets = [multiplex_series(arr, lags) for lags in lag_sets]
 
     def feasible(c_per_source):
         c_total = c_per_source * n
@@ -350,6 +424,8 @@ def smg_curve(
     rng=None,
     rel_tol=1e-4,
     workers=1,
+    fgn_sources=None,
+    batch=None,
 ):
     """Statistical-multiplexing-gain curve (Fig. 15).
 
@@ -365,6 +441,15 @@ def smg_curve(
     processes; every lag draw happens up front in the caller's ``rng``
     (in the same order as the serial loop), so the curve is
     bit-identical at every worker count.
+
+    ``fgn_sources`` switches from lagged copies of ``series`` to
+    independent batch-synthesized fGn sources per draw (same dict as
+    :func:`qc_curve`; ``series`` still anchors the mean/peak capacity
+    bracket).  Draws are seeded ``derive_task_seed(seed, draw_index,
+    label="smg.fgn")`` with ``draw_index`` running across the ``N``
+    values in order, and ``batch`` only groups the stacked FFTs, so the
+    curve is a pure function of the dict — same at every ``batch`` and
+    ``workers``.
     """
     arr = as_1d_float_array(series, "series")
     slot_seconds = require_positive(slot_seconds, "slot_seconds")
@@ -377,13 +462,22 @@ def smg_curve(
     peak_rate = float(np.max(arr))
     tmax_s = tmax_ms / 1000.0
     items = []
+    draw_index = 0
     for n in n_values:
         n = require_positive_int(n, "n_sources")
         n_draws = 1 if n == 1 else n_lag_draws
-        items.append((n, [
-            random_lags(n, arr.size, min_separation=min_separation, rng=rng)
-            for _ in range(n_draws)
-        ]))
+        if fgn_sources is not None:
+            prebuilt = _fgn_arrival_sets(
+                fgn_sources, arr.size, n, n_draws, batch, "smg.fgn",
+                start=draw_index,
+            )
+            draw_index += n_draws
+            items.append((n, None, prebuilt))
+        else:
+            items.append((n, [
+                random_lags(n, arr.size, min_separation=min_separation, rng=rng)
+                for _ in range(n_draws)
+            ], None))
     from repro.par.pool import pool_map
 
     capacities = pool_map(

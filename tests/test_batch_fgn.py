@@ -1,0 +1,200 @@
+"""Tier-1 bit-identity wall for the batched fGn synthesis layer.
+
+``batch_fgn`` stacks B Hermitian spectra into one 2-D inverse FFT;
+pocketfft runs each row with the same 1-D plan a single-trace call
+would use, so every row must equal the corresponding
+``PaxsonGenerator``/``DaviesHarteGenerator`` sample **bit for bit** --
+not approximately.  These tests pin that per backend, Hurst value,
+batch size and odd/even length, then walk the identity up the stack:
+the pooled fan-out (``batch_fgn_pool``, ``shard_fgn(batch=...)``), the
+independent-source multiplexer, and the streaming block source must
+all be pure execution strategies -- ``batch`` and ``workers`` change
+wall-clock time and nothing else.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.batch import batch_fgn, batch_generate, batch_row_seeds
+from repro.core.daviesharte import DaviesHarteGenerator
+from repro.core.paxson import PaxsonGenerator
+from repro.par.batch import batch_fgn_pool, default_batch, set_default_batch
+from repro.par.pool import derive_task_seed
+from repro.par.shard import shard_fgn
+from repro.simulation.multiplex import multiplex_fgn
+from repro.stream.sources import make_source
+
+BACKENDS = {"paxson": PaxsonGenerator, "davies-harte": DaviesHarteGenerator}
+HURSTS = (0.5, 0.7, 0.9)
+BATCHES = (1, 2, 7)
+WORKER_COUNTS = (1, 2, 5)
+
+
+class TestRowBitIdentity:
+    @pytest.mark.parametrize("backend", sorted(BACKENDS))
+    @pytest.mark.parametrize("hurst", HURSTS)
+    @pytest.mark.parametrize("batch", BATCHES)
+    @pytest.mark.parametrize("n", (256, 257))  # even and odd lengths
+    def test_rows_match_single_trace_calls(self, backend, hurst, batch, n):
+        rows = batch_fgn(n, hurst, batch, backend=backend, seed=11)
+        assert rows.shape == (batch, n)
+        generator = BACKENDS[backend](hurst)
+        for i, row_seed in enumerate(batch_row_seeds(11, batch)):
+            reference = generator.generate(n, rng=np.random.default_rng(row_seed))
+            np.testing.assert_array_equal(rows[i], reference)
+
+    def test_explicit_seeds_override_derivation(self):
+        seeds = [301, 17, 301]  # repeats allowed: rows 0 and 2 coincide
+        rows = batch_fgn(500, 0.8, 3, seeds=seeds)
+        np.testing.assert_array_equal(rows[0], rows[2])
+        assert not np.array_equal(rows[0], rows[1])
+        single = PaxsonGenerator(0.8).generate(500, rng=np.random.default_rng(17))
+        np.testing.assert_array_equal(rows[1], single)
+
+    @pytest.mark.parametrize("backend", sorted(BACKENDS))
+    def test_shared_rng_mode_matches_sequential_calls(self, backend):
+        rows = batch_fgn(300, 0.7, 4, backend=backend,
+                         rng=np.random.default_rng(42))
+        generator = BACKENDS[backend](0.7)
+        rng = np.random.default_rng(42)
+        for i in range(4):
+            np.testing.assert_array_equal(rows[i], generator.generate(300, rng=rng))
+
+    def test_n_equals_one(self):
+        rows = batch_fgn(1, 0.8, 3, seed=5)
+        assert rows.shape == (3, 1)
+        for i, row_seed in enumerate(batch_row_seeds(5, 3)):
+            reference = PaxsonGenerator(0.8).generate(
+                1, rng=np.random.default_rng(row_seed)
+            )
+            np.testing.assert_array_equal(rows[i], reference)
+
+    def test_batch_generate_reuses_a_live_generator(self):
+        generator = DaviesHarteGenerator(0.8)
+        rngs = [np.random.default_rng(s) for s in (3, 9)]
+        rows = batch_generate(generator, 200, rngs)
+        for i, seed in enumerate((3, 9)):
+            np.testing.assert_array_equal(
+                rows[i], generator.generate(200, rng=np.random.default_rng(seed))
+            )
+
+
+class TestValidation:
+    def test_zero_batch_names_requested_shape(self):
+        with pytest.raises(ValueError, match=r"\(0, 128\)"):
+            batch_fgn(128, 0.8, 0)
+
+    def test_non_integer_batch_names_requested_shape(self):
+        with pytest.raises(ValueError, match=r"positive integer.*2\.5"):
+            batch_fgn(128, 0.8, 2.5)
+
+    def test_bool_batch_rejected(self):
+        with pytest.raises(ValueError, match="positive integer"):
+            batch_fgn(128, 0.8, True)
+
+    def test_unknown_backend(self):
+        with pytest.raises(ValueError, match="backend"):
+            batch_fgn(128, 0.8, 2, backend="hosking")
+
+    def test_seeds_length_mismatch(self):
+        with pytest.raises(ValueError, match="need 3 row seeds, got 2"):
+            batch_fgn(128, 0.8, 3, seeds=[1, 2])
+
+    def test_rng_and_seeds_are_exclusive(self):
+        with pytest.raises(ValueError, match="not both"):
+            batch_fgn(128, 0.8, 2, seeds=[1, 2], rng=np.random.default_rng(0))
+
+    def test_batch_generate_rejects_foreign_generators(self):
+        with pytest.raises(TypeError, match="PaxsonGenerator"):
+            batch_generate(object(), 128, [np.random.default_rng(0)])
+
+    def test_batch_generate_requires_rows(self):
+        with pytest.raises(ValueError, match="at least one row"):
+            batch_generate(PaxsonGenerator(0.8), 128, [])
+
+
+class TestDefaultBatch:
+    def test_set_and_restore(self):
+        previous = set_default_batch(4)
+        try:
+            assert default_batch() == 4
+        finally:
+            set_default_batch(previous)
+        assert default_batch() == previous
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError, match="batch"):
+            set_default_batch(0)
+
+
+class TestPooledBatching:
+    """batch/workers grouping never changes the stacked rows."""
+
+    @pytest.mark.parametrize("batch", BATCHES)
+    @pytest.mark.parametrize("workers", WORKER_COUNTS)
+    def test_batch_fgn_pool_invariance(self, batch, workers):
+        reference = batch_fgn(400, 0.8, 5, seed=13)
+        rows = batch_fgn_pool(400, 0.8, 5, seed=13, batch=batch, workers=workers)
+        np.testing.assert_array_equal(rows, reference)
+
+    @pytest.mark.parametrize("backend", sorted(BACKENDS))
+    @pytest.mark.parametrize("batch", BATCHES)
+    def test_shard_fgn_batch_invariance(self, backend, batch):
+        # Odd boundaries: short final shard with a cross-fade seam.
+        reference = shard_fgn(
+            10_001, 0.8, backend=backend, seed=5,
+            shard_size=3000, overlap=100, workers=1, batch=1,
+        )
+        for workers in WORKER_COUNTS:
+            np.testing.assert_array_equal(
+                shard_fgn(
+                    10_001, 0.8, backend=backend, seed=5,
+                    shard_size=3000, overlap=100, workers=workers, batch=batch,
+                ),
+                reference,
+            )
+
+    def test_pool_rows_carry_the_shardlike_seed_scheme(self):
+        rows = batch_fgn_pool(200, 0.8, 3, seed=21, batch=2)
+        for i in range(3):
+            row_seed = derive_task_seed(21, i, label="batch")
+            reference = PaxsonGenerator(0.8).generate(
+                200, rng=np.random.default_rng(row_seed)
+            )
+            np.testing.assert_array_equal(rows[i], reference)
+
+
+class TestMultiplexFGN:
+    @pytest.mark.parametrize("batch", BATCHES)
+    def test_aggregate_is_batch_invariant(self, batch):
+        reference = multiplex_fgn(600, 0.8, 5, seed=3, batch=1)
+        np.testing.assert_array_equal(
+            multiplex_fgn(600, 0.8, 5, seed=3, batch=batch), reference
+        )
+
+    def test_marginal_mode_is_batch_invariant(self, paper_marginal):
+        reference = multiplex_fgn(400, 0.8, 4, seed=8, batch=1,
+                                  marginal=paper_marginal)
+        np.testing.assert_array_equal(
+            multiplex_fgn(400, 0.8, 4, seed=8, batch=4, marginal=paper_marginal),
+            reference,
+        )
+
+
+class TestStreamingSourceBatch:
+    @pytest.mark.parametrize("backend", sorted(BACKENDS))
+    @pytest.mark.parametrize("batch", BATCHES)
+    def test_block_source_emits_identical_samples(self, backend, batch):
+        def samples(b):
+            source = make_source(backend, hurst=0.8, block_size=1_024,
+                                 overlap=64, batch=b)
+            rng = np.random.default_rng(31)
+            return np.concatenate(list(source.chunks(5_000, 700, rng=rng)))
+
+        np.testing.assert_array_equal(samples(batch), samples(1))
+
+    def test_hosking_ignores_batch(self):
+        source = make_source("hosking", hurst=0.8, batch=8)
+        rng = np.random.default_rng(2)
+        chunks = list(source.chunks(256, 100, rng=rng))
+        assert sum(c.size for c in chunks) == 256

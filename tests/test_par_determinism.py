@@ -98,6 +98,8 @@ def qc_series(small_series):
 
 
 class TestGridSweeps:
+    FGN_SOURCES = {"hurst": 0.8, "seed": 41, "mean": 25_000.0, "std": 6_000.0}
+
     def test_qc_curve_worker_invariance(self, qc_series):
         def sweep(workers):
             return qc_curve(
@@ -114,6 +116,40 @@ class TestGridSweeps:
             )
             np.testing.assert_array_equal(curve.buffer_bytes, reference.buffer_bytes)
             np.testing.assert_array_equal(curve.tmax_ms, reference.tmax_ms)
+
+    def test_qc_curve_fgn_sources_batch_and_worker_invariance(self, qc_series):
+        def sweep(workers, batch):
+            return qc_curve(
+                qc_series, 1.0 / 24.0, n_sources=5, target_loss=1e-3,
+                n_points=4, fgn_sources=dict(self.FGN_SOURCES), batch=batch,
+                rng=np.random.default_rng(workers), workers=workers,
+            )
+
+        reference = sweep(1, 1)
+        for workers in WORKER_COUNTS[1:]:
+            for batch in (2, 7):
+                curve = sweep(workers, batch)
+                np.testing.assert_array_equal(
+                    curve.buffer_bytes, reference.buffer_bytes
+                )
+                np.testing.assert_array_equal(curve.tmax_ms, reference.tmax_ms)
+
+    def test_smg_curve_fgn_sources_batch_and_worker_invariance(self, qc_series):
+        def sweep(workers, batch):
+            return smg_curve(
+                qc_series, 1.0 / 24.0, n_values=(1, 2, 5), target_loss=1e-3,
+                n_lag_draws=2, fgn_sources=dict(self.FGN_SOURCES), batch=batch,
+                rel_tol=1e-3, workers=workers,
+            )
+
+        reference = sweep(1, 1)
+        for workers in WORKER_COUNTS[1:]:
+            for batch in (2, 7):
+                result = sweep(workers, batch)
+                np.testing.assert_array_equal(
+                    result["capacity_per_source"],
+                    reference["capacity_per_source"],
+                )
 
     def test_smg_curve_worker_invariance(self, qc_series):
         def sweep(workers):

@@ -121,6 +121,15 @@ class TestPaxsonGenerator:
         x = PaxsonGenerator(0.8).generate(1, rng=np.random.default_rng(5))
         assert x.shape == (1,)
 
+    @pytest.mark.parametrize("n", [26, 52, 94, 104])
+    def test_nyquist_rounding_lengths(self, n):
+        # For these n the top grid frequency (2 pi (n/2)) / n rounds one
+        # ulp above pi; the clamp in _sqrt_power must keep them legal
+        # (found by the tier-2 batch fuzz, tests/test_qa_batch_fuzz.py).
+        x = PaxsonGenerator(0.8).generate(n, rng=np.random.default_rng(5))
+        assert x.shape == (n,)
+        assert np.all(np.isfinite(x))
+
     def test_deterministic_under_seed(self):
         gen = PaxsonGenerator(0.8)
         a = gen.generate(1024, rng=np.random.default_rng(6))

@@ -1,0 +1,216 @@
+"""Tier-1 equivalence wall for the vectorized slot-fluid queue kernel.
+
+``slot_run_vectorized`` replaces the per-slot python recursion with
+segmented Lindley/Skorokhod reflection identities (prefix sums plus
+seeded running-extremum scans).  On clamp-free stretches the identity
+is algebraically exact; where the buffer clamps, the only admissible
+difference is float-associativity rounding.  These tests therefore pin
+the kernel against the reference loop in regimes engineered to be
+**representable exactly** (integer-valued fluid), where the two
+kernels must agree bit for bit -- the golden anchor checks the loss
+*series* and the full backlog trajectory, not just the summary tuple
+-- and cover chunked-state resume, the kernel dispatcher, and the
+callers that expose the choice (``simulate_queue``, the streaming
+fold, the FIFO discipline's batched path).
+"""
+
+import numpy as np
+import pytest
+
+from repro.net.sched import FIFODiscipline
+from repro.simulation.queue import simulate_queue
+from repro.simulation.slotfluid import (
+    SLOT_KERNELS,
+    default_kernel,
+    fold_slots,
+    run_slots,
+    set_default_kernel,
+    slot_run_vectorized,
+    slot_step,
+)
+from repro.stream.queueing import StreamingQueue, simulate_queue_stream
+
+BLOCK_SIZES = (256, 1_024, 8_192)
+
+
+def _loop_reference(values, capacity, buffer_bytes, state=(0.0, 0.0, 0.0, 0.0)):
+    """The recursion spelled out slot by slot via ``slot_step``."""
+    backlog, lost, peak, total = state
+    losses = np.zeros(len(values))
+    trajectory = np.empty(len(values))
+    for t, arrival in enumerate(values):
+        total += arrival
+        backlog, _, dropped = slot_step(backlog, arrival, capacity, buffer_bytes)
+        lost += dropped
+        losses[t] = dropped
+        trajectory[t] = backlog
+        peak = max(peak, backlog)
+    return (backlog, lost, peak, total), losses, trajectory
+
+
+def _integer_arrivals(rng, n, scale=40):
+    """Integer-valued fluid keeps every partial sum exact in float64."""
+    return rng.integers(0, scale, size=n).astype(float)
+
+
+class TestGoldenAnchor:
+    """The documented micro-example: a = [10, 10], c = 2, Q = 5."""
+
+    def test_summary_state(self):
+        got = slot_run_vectorized(np.array([10.0, 10.0]), 2.0, 5.0)
+        assert got == (5.0, 11.0, 5.0, 20.0)
+        assert got == fold_slots([10.0, 10.0], 2.0, 5.0)
+
+    def test_loss_series_and_trajectory(self):
+        a = np.array([10.0, 10.0])
+        losses = np.zeros(2)
+        slot_run_vectorized(a, 2.0, 5.0, loss_series=losses)
+        np.testing.assert_array_equal(losses, [3.0, 8.0])
+        reference, ref_losses, trajectory = _loop_reference(a, 2.0, 5.0)
+        np.testing.assert_array_equal(losses, ref_losses)
+        np.testing.assert_array_equal(trajectory, [5.0, 5.0])
+        assert reference == (5.0, 11.0, 5.0, 20.0)
+
+
+class TestKernelEquivalence:
+    @pytest.mark.parametrize("block_size", BLOCK_SIZES)
+    @pytest.mark.parametrize(
+        "capacity,buffer_bytes",
+        [
+            (20.0, 60.0),    # regularly clamping at both barriers
+            (25.0, 400.0),   # rare overflow, long clamp-free stretches
+            (12.0, 0.0),     # bufferless: every excess byte drops
+            (60.0, 30.0),    # mostly idle server, drain clamping
+        ],
+    )
+    def test_integer_fluid_is_bit_identical(self, rng, block_size,
+                                            capacity, buffer_bytes):
+        a = _integer_arrivals(rng, 20_000)
+        reference, ref_losses, _ = _loop_reference(a, capacity, buffer_bytes)
+        losses = np.zeros(a.size)
+        got = slot_run_vectorized(
+            a, capacity, buffer_bytes, loss_series=losses, block_size=block_size
+        )
+        assert got == reference
+        np.testing.assert_array_equal(losses, ref_losses)
+
+    def test_without_loss_series(self, rng):
+        a = _integer_arrivals(rng, 20_000)
+        reference, _, _ = _loop_reference(a, 17.0, 90.0)
+        assert slot_run_vectorized(a, 17.0, 90.0) == reference
+
+    def test_float_fluid_stays_within_rounding(self, rng):
+        a = rng.gamma(2.0, 10_000.0, size=50_000)
+        c, q = 22_000.0, 60_000.0
+        ref = fold_slots(a.tolist(), c, q)
+        got = slot_run_vectorized(a, c, q)
+        # Prefix-sum folding reassociates the additions, so the only
+        # admissible difference anywhere is float rounding.
+        np.testing.assert_allclose(got[3], ref[3], rtol=1e-12)
+        for v, r in zip(got[:3], ref[:3]):
+            np.testing.assert_allclose(v, r, rtol=1e-9, atol=1e-6)
+
+    def test_chunked_state_resume(self, rng):
+        # Carrying (backlog, lost, peak, total) across arbitrary chunk
+        # boundaries must match one whole-series call.
+        a = _integer_arrivals(rng, 30_000)
+        whole = slot_run_vectorized(a, 18.0, 70.0)
+        for chunk in (777, 3_333, 8_192):
+            state = (0.0, 0.0, 0.0, 0.0)
+            for start in range(0, a.size, chunk):
+                state = slot_run_vectorized(
+                    a[start : start + chunk], 18.0, 70.0, state=state
+                )
+            assert state == whole
+
+    def test_nonzero_initial_state(self, rng):
+        a = _integer_arrivals(rng, 5_000)
+        state = (33.0, 12.0, 40.0, 500.0)
+        reference, _, _ = _loop_reference(a, 21.0, 80.0, state=state)
+        assert slot_run_vectorized(a, 21.0, 80.0, state=state) == reference
+
+    def test_empty_input_returns_state(self):
+        state = (3.0, 1.0, 4.0, 9.0)
+        assert slot_run_vectorized(np.empty(0), 5.0, 10.0, state=state) == state
+
+
+class TestDispatcher:
+    def test_kernel_names(self):
+        assert SLOT_KERNELS == ("reference", "vectorized")
+        assert default_kernel() in SLOT_KERNELS
+
+    def test_run_slots_selects_kernels(self, rng):
+        a = _integer_arrivals(rng, 4_000)
+        reference = fold_slots(a.tolist(), 19.0, 55.0)
+        assert run_slots(a, 19.0, 55.0, kernel="reference") == reference
+        assert run_slots(a, 19.0, 55.0, kernel="vectorized") == reference
+
+    def test_run_slots_rejects_unknown_kernel(self):
+        with pytest.raises(ValueError, match="kernel"):
+            run_slots(np.zeros(4), 1.0, 1.0, kernel="fast")
+
+    def test_set_default_kernel_round_trip(self, rng):
+        a = _integer_arrivals(rng, 2_000)
+        reference = run_slots(a, 9.0, 30.0, kernel="reference")
+        previous = set_default_kernel("vectorized")
+        try:
+            assert default_kernel() == "vectorized"
+            assert run_slots(a, 9.0, 30.0) == reference
+        finally:
+            set_default_kernel(previous)
+        assert default_kernel() == previous
+
+    def test_set_default_kernel_rejects_unknown(self):
+        with pytest.raises(ValueError, match="kernel"):
+            set_default_kernel("gpu")
+
+
+class TestCallers:
+    def test_simulate_queue_kernel_parameter(self, rng):
+        a = _integer_arrivals(rng, 15_000)
+        ref = simulate_queue(a, 18.0, 64.0, return_series=True)
+        vec = simulate_queue(a, 18.0, 64.0, return_series=True,
+                             kernel="vectorized")
+        assert vec.lost_bytes == ref.lost_bytes
+        assert vec.final_backlog == ref.final_backlog
+        assert vec.peak_backlog == ref.peak_backlog
+        assert vec.total_bytes == ref.total_bytes
+        np.testing.assert_array_equal(vec.loss_series, ref.loss_series)
+
+    def test_streaming_queue_kernel_parameter(self, rng):
+        a = _integer_arrivals(rng, 12_000)
+        chunks = [a[i : i + 1_000] for i in range(0, a.size, 1_000)]
+        ref = simulate_queue_stream(chunks, 18.0, 64.0, record_loss=True)
+        queue = StreamingQueue(18.0, 64.0, record_loss=True, kernel="vectorized")
+        for chunk in chunks:
+            queue.push(chunk)
+        vec = queue.result()
+        assert vec.lost_bytes == ref.lost_bytes
+        assert vec.final_backlog == ref.final_backlog
+        np.testing.assert_array_equal(vec.loss_series, ref.loss_series)
+
+    def test_fifo_step_many_matches_step_loop(self, rng):
+        a = _integer_arrivals(rng, 6_000, scale=30)
+        loop = FIFODiscipline(14.0, 48.0)
+        loop.register("video")
+        lost = 0.0
+        peak = 0.0
+        for arrival in a:
+            result = loop.step({"video": float(arrival)})
+            lost += result.lost_total
+            peak = max(peak, result.backlog)
+        for kernel in SLOT_KERNELS:
+            bulk = FIFODiscipline(14.0, 48.0)
+            bulk.register("video")
+            got = bulk.step_many(a, kernel=kernel)
+            assert got["backlog"] == loop.backlog
+            assert got["lost"] == lost
+            assert got["peak"] == peak
+            assert got["offered"] == float(a.sum())
+
+    def test_fifo_step_many_requires_single_flow(self):
+        port = FIFODiscipline(10.0, 10.0)
+        port.register("a")
+        port.register("b")
+        with pytest.raises(ValueError, match="exactly one registered flow"):
+            port.step_many(np.zeros(4))
