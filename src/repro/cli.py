@@ -168,6 +168,19 @@ def build_parser():
     p_exp.add_argument("--cache-dir", default=None, metavar="DIR",
                        help="content-addressed cache for generator tables and "
                             "synthesized traces (digest-verified on every hit)")
+    p_exp.add_argument("--nodes", default=None, metavar="NODES",
+                       help='distribute over worker nodes: "sim:3" for a '
+                            'simulated cluster, or "host:port,..." for '
+                            '"repro dist serve" workers')
+    p_exp.add_argument("--lease-s", type=float, default=10.0,
+                       help="with --nodes: per-task lease renewed by worker "
+                            "heartbeats (default 10s)")
+    p_exp.add_argument("--task-timeout-s", type=float, default=None,
+                       help="with --nodes: hard per-attempt cap, catches "
+                            "workers that heartbeat but never finish")
+    p_exp.add_argument("--authkey", default=None,
+                       help="with --nodes: shared secret for the socket "
+                            "transport (or $REPRO_DIST_AUTHKEY)")
 
     p_obs = sub.add_parser("obs", help="inspect run manifests, metrics and benchmarks")
     obs_sub = p_obs.add_subparsers(dest="obs_command", required=True)
@@ -207,10 +220,44 @@ def build_parser():
     p_net.add_argument("--json", action="store_true", dest="as_json",
                        help="emit full results as JSON on stdout")
 
-    p_doc = sub.add_parser("doctor", help="diagnose (and repair-load) a trace file")
-    p_doc.add_argument("trace", help="trace file to examine")
+    p_doc = sub.add_parser(
+        "doctor", help="diagnose a trace file and/or preflight a worker cluster"
+    )
+    p_doc.add_argument("trace", nargs="?", default=None,
+                       help="trace file to examine (optional with --nodes)")
     p_doc.add_argument("--repair-budget", type=int, default=64,
                        help="maximum bad lines the lenient loader may repair")
+    p_doc.add_argument("--nodes", default=None, metavar="NODES",
+                       help='probe "repro dist serve" endpoints '
+                            '("host:port,host:port,...") before a campaign')
+    p_doc.add_argument("--authkey", default=None,
+                       help="shared secret for the probe (or $REPRO_DIST_AUTHKEY)")
+    p_doc.add_argument("--probe-timeout-s", type=float, default=2.0,
+                       help="per-node probe deadline in seconds (default 2)")
+    p_doc.add_argument("--slow-ms", type=float, default=250.0,
+                       help="round-trip above this is reported as slow (default 250)")
+
+    p_dist = sub.add_parser("dist", help="distributed campaign worker nodes")
+    dist_sub = p_dist.add_subparsers(dest="dist_command", required=True)
+    p_dist_srv = dist_sub.add_parser(
+        "serve", help="run a worker node serving distributed campaigns"
+    )
+    p_dist_srv.add_argument("address",
+                            help='bind address: "host:port" ("host:0" picks a '
+                                 'free port) or "unix:/path"')
+    p_dist_srv.add_argument("--name", default=None,
+                            help="node name announced to coordinators "
+                                 "(default hostname-pid)")
+    p_dist_srv.add_argument("--authkey", default=None,
+                            help="shared secret coordinators must present "
+                                 "(or $REPRO_DIST_AUTHKEY)")
+    p_dist_srv.add_argument("--cache-dir", default=None, metavar="DIR",
+                            help="shared content-addressed artifact store; "
+                                 "fGn payloads travel as digest-verified "
+                                 "references instead of over the socket")
+    p_dist_srv.add_argument("--once", action="store_true",
+                            help="serve a single coordinator connection, "
+                                 "then exit (for tests)")
 
     p_rep = sub.add_parser("report", help="full Section-3 analysis report")
     p_rep.add_argument("trace", nargs="?", help="trace file (omit with --synthetic)")
@@ -497,7 +544,23 @@ def _cmd_experiments(args):
         or args.timeout_s is not None
     )
     with profiler:
-        if not supervised:
+        if args.nodes:
+            from repro.dist.campaign import run_suite
+
+            campaign = run_suite(
+                args.nodes,
+                quick=args.quick,
+                only=only,
+                base_seed=args.seed,
+                max_retries=args.max_retries,
+                lease_s=args.lease_s,
+                task_timeout_s=args.task_timeout_s,
+                checkpoint_dir=args.checkpoint_dir,
+                resume=args.resume,
+                authkey=_dist_authkey(args),
+            )
+            results = campaign.results
+        elif not supervised:
             results = run_all(quick=args.quick, only=only, workers=args.workers)
             campaign = None
         else:
@@ -618,9 +681,64 @@ def _net_body(args, run_topology_task, spec_from_json, sweep_topologies):
     return 0
 
 
+def _dist_authkey(args):
+    """``--authkey`` / ``$REPRO_DIST_AUTHKEY`` / built-in default, as bytes."""
+    import os
+
+    key = getattr(args, "authkey", None) or os.environ.get("REPRO_DIST_AUTHKEY")
+    if key is None:
+        from repro.dist.transport import DEFAULT_AUTHKEY
+
+        return DEFAULT_AUTHKEY
+    return key.encode() if isinstance(key, str) else key
+
+
+def _doctor_nodes(args):
+    """Cluster preflight: probe each worker endpoint, one line per node."""
+    from repro.dist.campaign import parse_nodes
+    from repro.dist.transport import probe
+
+    try:
+        kind, addresses = parse_nodes(args.nodes)
+        if kind == "sim":
+            raise ValueError(
+                "simulated nodes exist only inside a campaign process; "
+                "give real worker addresses to preflight"
+            )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    authkey = _dist_authkey(args)
+    status = 0
+    for address in addresses:
+        ok, rtt, detail = probe(address, authkey=authkey,
+                                timeout_s=args.probe_timeout_s)
+        if not ok:
+            print(f"node {address}: UNREACHABLE ({detail})", file=sys.stderr)
+            status = 2
+        elif rtt * 1e3 > args.slow_ms:
+            print(f"node {address}: SLOW (round trip {rtt * 1e3:.0f} ms "
+                  f"> {args.slow_ms:g} ms)", file=sys.stderr)
+            status = 2
+        else:
+            name = f" ({detail})" if detail else ""
+            print(f"node {address}: ok, round trip {rtt * 1e3:.1f} ms{name}")
+    if status == 0:
+        print(f"cluster ok: {len(addresses)} node(s) reachable")
+    return status
+
+
 def _cmd_doctor(args):
     from repro.video.tracefile import TraceFormatError, load_trace_lenient
 
+    if args.trace is None and not args.nodes:
+        print("error: pass a trace file and/or --nodes", file=sys.stderr)
+        return 2
+    status = 0
+    if args.nodes:
+        status = _doctor_nodes(args)
+    if args.trace is None:
+        return status
     try:
         trace, report = load_trace_lenient(
             args.trace, repair_budget=args.repair_budget
@@ -632,6 +750,21 @@ def _cmd_doctor(args):
         print(line)
     verdict = "clean" if report.is_clean else "repaired"
     print(f"{verdict}: {trace}")
+    return status
+
+
+def _cmd_dist(args):
+    from repro.dist.worker import serve
+
+    try:
+        serve(args.address, authkey=_dist_authkey(args), name=args.name,
+              once=args.once, cache_dir=args.cache_dir)
+    except (OSError, ValueError) as exc:
+        # An unbindable or malformed address is bad user input.
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except KeyboardInterrupt:
+        _LOGGER.info("dist worker interrupted; exiting")
     return 0
 
 
@@ -718,6 +851,7 @@ _COMMANDS = {
     "generate": _cmd_generate,
     "net": _cmd_net,
     "doctor": _cmd_doctor,
+    "dist": _cmd_dist,
     "obs": _cmd_obs,
 }
 

@@ -1,0 +1,82 @@
+"""Fault-tolerant distributed campaigns (``repro.dist``).
+
+Shards experiment campaigns and fGn-synthesis task lists across worker
+nodes over stdlib transports, with the robustness machinery a flaky
+fleet needs: per-task leases renewed by heartbeats, node-loss detection
+and work reassignment (same attempt seed, so reruns are bit-identical),
+bounded seed-rotated retry for genuine failures, graceful degradation
+to local serial execution when every node dies, checkpoint/resume
+through the :mod:`repro.resilience` store, and a shared
+content-addressed artifact store with end-to-end digest verification.
+
+Layers (each importable on its own):
+
+- :mod:`repro.dist.protocol` -- task model, task-kind registry, wire
+  messages, artifact references;
+- :mod:`repro.dist.transport` -- socket channels
+  (:mod:`multiprocessing.connection`) and the in-memory simulated
+  fabric with injectable latency/partitions/death;
+- :mod:`repro.dist.worker` -- the worker loop and ``repro dist serve``;
+- :mod:`repro.dist.coordinator` -- leases, reassignment, retry,
+  fallback; :func:`run_distributed`;
+- :mod:`repro.dist.simcluster` -- N simulated nodes + seeded
+  :class:`FaultScript` chaos, the harness behind the chaos wall and
+  the scheduler benchmarks;
+- :mod:`repro.dist.campaign` -- experiment-suite and fGn task lists,
+  ``"sim:3"`` / ``"host:port,..."`` node specs, :func:`run_suite`.
+
+See ``docs/distributed.md`` for the protocol walk-through and tuning
+guidance.
+"""
+
+from repro.dist.campaign import (
+    experiment_tasks,
+    fgn_tasks,
+    open_endpoints,
+    parse_nodes,
+    run_suite,
+)
+from repro.dist.coordinator import DistError, DistReport, TaskFailure, TaskRecord, run_distributed
+from repro.dist.protocol import (
+    PROTOCOL_VERSION,
+    ArtifactMiss,
+    TaskSpec,
+    execute_task,
+    make_artifact_ref,
+    register_task_kind,
+    resolve_payload,
+    task_seed,
+)
+from repro.dist.simcluster import FaultEvent, FaultScript, SimCluster
+from repro.dist.transport import ChannelClosed, connect, listen, probe
+from repro.dist.worker import WorkerLoop, serve
+
+__all__ = [
+    "PROTOCOL_VERSION",
+    "ArtifactMiss",
+    "ChannelClosed",
+    "DistError",
+    "DistReport",
+    "FaultEvent",
+    "FaultScript",
+    "SimCluster",
+    "TaskFailure",
+    "TaskRecord",
+    "TaskSpec",
+    "WorkerLoop",
+    "connect",
+    "execute_task",
+    "experiment_tasks",
+    "fgn_tasks",
+    "listen",
+    "make_artifact_ref",
+    "open_endpoints",
+    "parse_nodes",
+    "probe",
+    "register_task_kind",
+    "resolve_payload",
+    "run_distributed",
+    "run_suite",
+    "serve",
+    "task_seed",
+]

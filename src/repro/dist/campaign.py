@@ -1,0 +1,193 @@
+"""Shard repro campaigns over worker nodes.
+
+This is the bridge between the generic coordinator and the two
+workloads the paper reproduction actually distributes:
+
+- the experiment suite (:func:`experiment_tasks` names each experiment
+  as an ``"experiment"`` task rebuilt worker-side against the
+  deterministic reference trace), and
+- bulk fGn synthesis (:func:`fgn_tasks`), whose payloads travel as
+  digest-verified references into the shared artifact store.
+
+Node sets are named with a compact string: ``"sim:3"`` spins up a
+three-node simulated cluster in-process, while
+``"host:port,host:port,unix:/path"`` dials real ``repro dist serve``
+workers.  :func:`open_endpoints` turns either form into the
+``{name: Channel}`` dict :func:`~repro.dist.coordinator.run_distributed`
+expects and tears the connections down afterwards.
+"""
+
+from __future__ import annotations
+
+import contextlib
+
+from repro.dist import transport
+from repro.dist.coordinator import run_distributed
+from repro.dist.protocol import TaskSpec
+from repro.dist.transport import ChannelClosed
+from repro.obs import log as obs_log
+
+__all__ = [
+    "experiment_tasks",
+    "fgn_tasks",
+    "open_endpoints",
+    "parse_nodes",
+    "run_suite",
+]
+
+_LOGGER = obs_log.get_logger("dist.campaign")
+
+
+def parse_nodes(nodes):
+    """``"sim:N"`` -> ``("sim", N)``; address list -> ``("addresses", [...])``.
+
+    Accepts a string (``"sim:3"`` or comma-separated worker addresses)
+    or an iterable of addresses.  Simulated and real nodes cannot be
+    mixed: a campaign either runs in the harness or on the network.
+    """
+    if not isinstance(nodes, str):
+        addresses = [str(n).strip() for n in nodes if str(n).strip()]
+        if not addresses:
+            raise ValueError("node list is empty")
+        return ("addresses", addresses)
+    spec = nodes.strip()
+    if spec.startswith("sim:"):
+        try:
+            count = int(spec[len("sim:"):])
+        except ValueError:
+            raise ValueError(f"bad simulated node count in {nodes!r}") from None
+        if count < 1:
+            raise ValueError(f"need at least one simulated node, got {count}")
+        return ("sim", count)
+    if spec == "sim":
+        return ("sim", 2)
+    addresses = [part.strip() for part in spec.split(",") if part.strip()]
+    if not addresses:
+        raise ValueError(f"node spec {nodes!r} names no workers")
+    for address in addresses:
+        transport.parse_address(address)  # fail fast on malformed entries
+    return ("addresses", addresses)
+
+
+@contextlib.contextmanager
+def open_endpoints(nodes, *, authkey=None, script=None, latency_s=0.0):
+    """Yield ``{name: Channel}`` for a node spec; clean up on exit.
+
+    ``script`` (a :class:`~repro.dist.simcluster.FaultScript`) and
+    ``latency_s`` only apply to simulated clusters.  Socket workers get
+    a ``detach`` on the way out so they return to accepting instead of
+    shutting down.
+    """
+    kind, value = parse_nodes(nodes)
+    if kind == "sim":
+        from repro.dist.simcluster import SimCluster
+
+        with SimCluster(value, script=script, latency_s=latency_s) as cluster:
+            yield cluster.endpoints()
+        return
+    key = transport.DEFAULT_AUTHKEY if authkey is None else authkey
+    channels = {}
+    try:
+        for address in value:
+            channels[address] = transport.connect(address, authkey=key, name=address)
+        yield channels
+    finally:
+        for channel in channels.values():
+            try:
+                channel.send({"type": "detach"})
+            except ChannelClosed:
+                pass
+            channel.close()
+
+
+def experiment_tasks(quick=False, sim_frames=None, only=None, trace_frames=None):
+    """The experiment suite as distributable :class:`TaskSpec` entries.
+
+    Task ids are the experiment ids, so a distributed report's
+    ``results`` dict feeds :func:`repro.experiments.runner.summary_lines`
+    unchanged.  The reference trace itself never crosses the wire: each
+    worker rebuilds it from ``trace_frames`` (deterministic by
+    construction), which keeps task messages tiny.
+    """
+    from repro.experiments.data import reference_trace
+    from repro.experiments.runner import experiment_specs
+
+    if trace_frames is None:
+        trace_frames = 40_000 if quick else 171_000
+    trace_frames = int(trace_frames)
+    trace = reference_trace(n_frames=trace_frames)
+    specs = experiment_specs(trace, quick=quick, sim_frames=sim_frames)
+    ids = [spec.experiment_id for spec in specs]
+    if only is not None:
+        wanted = {only} if isinstance(only, str) else set(only)
+        missing = sorted(wanted - set(ids))
+        if missing:
+            raise ValueError(f"unknown experiment id(s) {missing}; known: {sorted(ids)}")
+        ids = [experiment_id for experiment_id in ids if experiment_id in wanted]
+    params = {
+        "quick": bool(quick),
+        "sim_frames": int(sim_frames) if sim_frames is not None else None,
+        "trace_frames": trace_frames,
+    }
+    return [
+        TaskSpec(experiment_id, "experiment", {"experiment_id": experiment_id, **params})
+        for experiment_id in ids
+    ]
+
+
+def fgn_tasks(n_tasks, n, hurst=0.8, backend="daviesharte", prefix="fgn"):
+    """``n_tasks`` independent fGn syntheses as :class:`TaskSpec` entries."""
+    if n_tasks < 1:
+        raise ValueError(f"need at least one task, got {n_tasks}")
+    return [
+        TaskSpec(
+            f"{prefix}{index:03d}", "fgn",
+            {"n": int(n), "hurst": float(hurst), "backend": str(backend)},
+        )
+        for index in range(int(n_tasks))
+    ]
+
+
+def suite_manifest(quick, sim_frames, trace_frames):
+    """Checkpoint-compatibility fingerprint for a distributed suite run."""
+    return {
+        "dist": 1,
+        "quick": bool(quick),
+        "sim_frames": int(sim_frames) if sim_frames is not None else None,
+        "trace_frames": int(trace_frames) if trace_frames is not None else None,
+    }
+
+
+def run_suite(nodes, *, quick=False, sim_frames=None, only=None,
+              trace_frames=None, base_seed=0, max_retries=1, lease_s=10.0,
+              task_timeout_s=None, checkpoint_dir=None, resume=True,
+              authkey=None, script=None, latency_s=0.0, fallback_local=True,
+              on_event=None):
+    """Run the experiment suite across ``nodes``; returns a ``DistReport``.
+
+    The convenience entry point behind
+    ``repro experiments --nodes ...`` and
+    :func:`repro.experiments.runner.run_all(nodes=...) <repro.experiments.runner.run_all>`.
+    Results and checkpoint digests match a local supervised campaign
+    over the same suite parameters regardless of node count or faults.
+    """
+    if trace_frames is None:
+        trace_frames = 40_000 if quick else 171_000
+    tasks = experiment_tasks(
+        quick=quick, sim_frames=sim_frames, only=only, trace_frames=trace_frames
+    )
+    _LOGGER.info(
+        "distributing %d experiment(s) over %s", len(tasks), nodes,
+        extra={"tasks": len(tasks), "nodes": str(nodes)},
+    )
+    with open_endpoints(
+        nodes, authkey=authkey, script=script, latency_s=latency_s
+    ) as endpoints:
+        return run_distributed(
+            tasks, endpoints,
+            base_seed=base_seed, max_retries=max_retries, lease_s=lease_s,
+            task_timeout_s=task_timeout_s, checkpoint_dir=checkpoint_dir,
+            resume=resume,
+            manifest=suite_manifest(quick, sim_frames, trace_frames),
+            fallback_local=fallback_local, on_event=on_event,
+        )

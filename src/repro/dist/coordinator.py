@@ -1,0 +1,586 @@
+"""Fault-tolerant campaign coordinator: leases, heartbeats, reassignment.
+
+:func:`run_distributed` drives an ordered list of
+:class:`~repro.dist.protocol.TaskSpec` across named worker endpoints
+(socket channels from ``repro dist serve`` or a
+:class:`~repro.dist.simcluster.SimCluster`) and returns a
+:class:`DistReport`.  The robustness contract, in decreasing order of
+how often it should matter:
+
+- **Leases + heartbeats.**  Every assignment carries a lease of
+  ``lease_s`` seconds; the worker heartbeats at a quarter of that, and
+  each heartbeat renews the lease.  A lease that expires means the
+  node is gone (SIGKILL, hang, partition) -- the node is declared dead
+  and its task goes back to the head of the queue *with the same
+  attempt number*, so the rerun on a surviving node draws the same
+  seed and produces bit-identical results.  ``task_timeout_s`` bounds
+  an attempt even when heartbeats keep coming (a stalled worker).
+- **Bounded retry.**  A task that *fails* (the worker ran it and it
+  raised) follows the supervisor discipline of
+  :mod:`repro.resilience.runner`: transient errors retry up to
+  ``max_retries`` times with capped exponential backoff, and each
+  retry rotates the seed via the same sha256 derivation.
+- **Work conservation.**  A deterministic result is accepted from any
+  node that finishes it first; late duplicates (a partitioned node
+  healing after its work was reassigned) are counted, not trusted
+  twice.
+- **Graceful degradation.**  When every remote node is dead and work
+  remains, the coordinator finishes the campaign locally and serially
+  -- a distributed campaign can end slow, but not dead.
+- **Checkpoint/resume.**  With ``checkpoint_dir`` every completed task
+  is persisted through the :class:`~repro.resilience.runner.CheckpointStore`
+  (atomic, digest-verified on load), so a killed *coordinator* resumes
+  digest-identically too -- same files, same tolerances as single-node
+  campaigns.
+- **Shared artifact store.**  Results may be
+  :func:`~repro.dist.protocol.make_artifact_ref` references into the
+  shared content-addressed cache; the coordinator re-verifies the
+  payload digest end-to-end on fetch and treats any mismatch as a
+  transient task failure (recompute, never serve).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import time
+
+from repro.dist import protocol
+from repro.dist.transport import ChannelClosed
+from repro.obs import log as obs_log
+from repro.obs import metrics, trace
+from repro.resilience.runner import TRANSIENT_TYPES, CheckpointStore
+
+__all__ = ["DistError", "DistReport", "TaskFailure", "TaskRecord", "run_distributed"]
+
+_LOGGER = obs_log.get_logger("dist.coord")
+
+_TASKS = {
+    outcome: metrics.registry().counter(
+        "repro_dist_tasks_total",
+        help="Distributed-task outcomes seen by the coordinator",
+        unit="tasks", labels={"outcome": outcome},
+    )
+    for outcome in ("completed", "failed", "retried", "reassigned",
+                    "resumed", "duplicate", "local")
+}
+
+_LEASE_EXPIRIES = metrics.registry().counter(
+    "repro_dist_lease_expiries_total",
+    help="Leases that expired without a heartbeat (node presumed lost)",
+    unit="leases",
+)
+
+_FALLBACKS = metrics.registry().counter(
+    "repro_dist_local_fallback_total",
+    help="Campaigns that degraded to local serial execution",
+    unit="campaigns",
+)
+
+_NODES = {
+    state: metrics.registry().gauge(
+        "repro_dist_nodes",
+        help="Worker nodes known to the coordinator, by state",
+        unit="nodes", labels={"state": state},
+    )
+    for state in ("alive", "dead")
+}
+
+
+def _node_tasks_counter(node):
+    return metrics.registry().counter(
+        "repro_dist_node_tasks_total",
+        help="Tasks completed per worker node",
+        unit="tasks", labels={"node": str(node)},
+    )
+
+
+class DistError(RuntimeError):
+    """The campaign cannot make progress (and local fallback is off)."""
+
+
+@dataclasses.dataclass(frozen=True)
+class TaskFailure:
+    """One failed task attempt, as reported by a worker (or locally)."""
+
+    task_id: str
+    node: str
+    attempt: int
+    error_type: str
+    message: str
+    traceback: str
+    seed: int
+    wall_time: float
+    transient: bool
+
+    def describe(self):
+        kind = "transient" if self.transient else "terminal"
+        return (
+            f"{self.task_id} attempt {self.attempt + 1} on {self.node}: "
+            f"{self.error_type}: {self.message} ({kind})"
+        )
+
+
+@dataclasses.dataclass
+class TaskRecord:
+    """Outcome of one task across every node that touched it."""
+
+    task_id: str
+    status: str  # "completed" | "resumed" | "failed"
+    attempts: int
+    node: str | None = None
+    wall_time: float = 0.0
+    reassignments: int = 0
+
+
+@dataclasses.dataclass
+class DistReport:
+    """Everything a distributed campaign produced, and what went wrong."""
+
+    results: dict
+    records: list
+    failures: list
+    attempt_failures: list
+    resumed: list
+    node_states: dict
+    duplicates: int = 0
+    degraded_to_local: bool = False
+
+    @property
+    def ok(self):
+        return not self.failures
+
+    def summary_lines(self):
+        done = sum(1 for r in self.records if r.status in ("completed", "resumed"))
+        dead = sorted(n for n, s in self.node_states.items() if s == "dead")
+        reassigned = sum(r.reassignments for r in self.records)
+        lines = [
+            f"dist campaign: {done}/{len(self.records)} tasks completed "
+            f"({len(self.resumed)} resumed from checkpoint, {reassigned} "
+            f"reassignment(s), {len(self.attempt_failures)} failed attempt(s), "
+            f"{len(self.failures)} terminal failure(s))"
+        ]
+        if dead:
+            lines.append(f"  nodes lost: {', '.join(dead)}")
+        if self.degraded_to_local:
+            lines.append("  degraded to local serial execution after losing all nodes")
+        for failure in self.attempt_failures:
+            lines.append(f"  attempt failed: {failure.describe()}")
+        for record in self.records:
+            if record.status == "failed":
+                lines.append(f"  FAILED: {record.task_id} after {record.attempts} attempt(s)")
+        return lines
+
+
+@dataclasses.dataclass
+class _Node:
+    name: str
+    channel: object
+    state: str = "alive"  # alive | dead
+    current: str | None = None  # task_id being worked, if any
+
+
+@dataclasses.dataclass
+class _TaskState:
+    spec: object
+    index: int
+    attempt: int = 0
+    attempts_used: int = 0
+    reassignments: int = 0
+    ready_at: float = 0.0
+    node: str | None = None  # assignee
+    deadline: float = 0.0
+    started_at: float = 0.0
+    done: bool = False
+    wall_time: float = 0.0
+
+
+def _normalize_tasks(tasks):
+    out = []
+    seen = set()
+    for task in tasks:
+        if not isinstance(task, protocol.TaskSpec):
+            task = protocol.TaskSpec(*task) if isinstance(task, tuple) else (
+                protocol.TaskSpec.from_wire(task)
+            )
+        if task.task_id in seen:
+            raise ValueError(f"duplicate task id {task.task_id!r}")
+        seen.add(task.task_id)
+        out.append(task)
+    return out
+
+
+def run_distributed(tasks, endpoints, *, base_seed=0, max_retries=1,
+                    lease_s=10.0, task_timeout_s=None, checkpoint_dir=None,
+                    resume=True, manifest=None, fallback_local=True,
+                    transient_types=TRANSIENT_TYPES, backoff_base=0.05,
+                    backoff_cap=5.0, poll_s=0.002, clock=time.monotonic,
+                    sleep=time.sleep, on_event=None):
+    """Drive ``tasks`` over ``endpoints`` (``{node_name: Channel}``).
+
+    Returns a :class:`DistReport`; results, records, failures and
+    checkpoint digests are functions of ``(tasks, base_seed)`` alone --
+    not of node count, scheduling, kills or reassignments -- provided
+    each task is deterministic given its seed.  See the module
+    docstring for the full robustness contract.
+
+    ``on_event(kind, detail)`` observes the campaign live (kinds:
+    ``assign``, ``resumed``, ``completed``, ``retry``, ``reassign``,
+    ``node_lost``, ``duplicate``, ``failed``, ``local_fallback``).
+    """
+    tasks = _normalize_tasks(tasks)
+    lease_s = float(lease_s)
+    if lease_s <= 0.0:
+        raise ValueError(f"lease_s must be positive, got {lease_s}")
+    attempts_allowed = int(max_retries) + 1
+
+    store = None
+    if checkpoint_dir is not None:
+        store = CheckpointStore(checkpoint_dir)
+        if resume:
+            store.check_manifest(manifest)
+        store.write_manifest(manifest)
+
+    def _notify(kind, detail=""):
+        if on_event is not None:
+            on_event(kind, detail)
+
+    nodes = {
+        str(name): _Node(str(name), channel)
+        for name, channel in dict(endpoints).items()
+    }
+    states = {
+        task.task_id: _TaskState(spec=task, index=index)
+        for index, task in enumerate(tasks)
+    }
+    report = DistReport(results={}, records=[], failures=[], attempt_failures=[],
+                        resumed=[], node_states={})
+    completed = {}
+    resumed = set()
+
+    # ------------------------------------------------------------------
+    # Resume from checkpoints before anything is scheduled
+    # ------------------------------------------------------------------
+    if store is not None and resume:
+        for task in tasks:
+            loaded = store.load(task.task_id)
+            if loaded is None:
+                continue
+            payload, meta = loaded
+            state = states[task.task_id]
+            state.done = True
+            state.attempts_used = int(meta.get("attempts", 1))
+            state.wall_time = float(meta.get("wall_time", 0.0))
+            completed[task.task_id] = payload
+            resumed.add(task.task_id)
+            _TASKS["resumed"].inc()
+            _notify("resumed", task.task_id)
+
+    pending = [t.task_id for t in tasks if not states[t.task_id].done]
+
+    def _alive():
+        return [nodes[name] for name in sorted(nodes) if nodes[name].state == "alive"]
+
+    def _update_node_gauges():
+        alive = sum(1 for n in nodes.values() if n.state == "alive")
+        _NODES["alive"].set(alive)
+        _NODES["dead"].set(len(nodes) - alive)
+
+    def _record_failure(task_id, node_name, attempt, error, seed, wall):
+        failure = TaskFailure(
+            task_id=task_id, node=node_name, attempt=attempt,
+            error_type=error["error_type"], message=error["message"],
+            traceback=error.get("traceback", ""), seed=seed,
+            wall_time=wall, transient=bool(error.get("transient")),
+        )
+        report.attempt_failures.append(failure)
+        return failure
+
+    def _complete(task_id, payload, node_name, wall):
+        state = states[task_id]
+        try:
+            payload = protocol.resolve_payload(payload)
+        except protocol.ArtifactMiss as exc:
+            _LOGGER.warning("artifact miss for %s: %s", task_id, exc,
+                            extra={"task": task_id})
+            error = {"error_type": "ArtifactMiss", "message": str(exc),
+                     "traceback": "", "transient": True}
+            _retry_or_fail(task_id, node_name, error, wall)
+            return
+        state.done = True
+        state.wall_time += wall
+        state.attempts_used = state.attempt + 1
+        state.node = node_name
+        completed[task_id] = payload
+        if store is not None:
+            seed = protocol.task_seed(base_seed, task_id, state.attempt)
+            store.save(task_id, payload, seed, state.attempts_used, state.wall_time)
+        _TASKS["completed"].inc()
+        _node_tasks_counter(node_name).inc()
+        _notify("completed", task_id)
+
+    def _retry_or_fail(task_id, node_name, error, wall):
+        state = states[task_id]
+        seed = protocol.task_seed(base_seed, task_id, state.attempt)
+        failure = _record_failure(task_id, node_name, state.attempt, error, seed, wall)
+        state.wall_time += wall
+        if failure.transient and state.attempt + 1 < attempts_allowed:
+            _TASKS["retried"].inc()
+            _LOGGER.warning(
+                "task %s attempt %d/%d failed (%s); retrying with rotated seed",
+                task_id, state.attempt + 1, attempts_allowed, failure.error_type,
+                extra={"task": task_id, "attempt": state.attempt + 1,
+                       "error_type": failure.error_type},
+            )
+            state.attempt += 1
+            state.ready_at = clock() + min(
+                backoff_base * 2.0 ** (state.attempt - 1), backoff_cap
+            )
+            state.node = None
+            pending.insert(0, task_id)
+            _notify("retry", task_id)
+        else:
+            state.done = True
+            state.attempts_used = state.attempt + 1
+            state.node = node_name
+            report.failures.append(failure)
+            _TASKS["failed"].inc()
+            _LOGGER.error(
+                "task %s failed terminally on attempt %d/%d (%s: %s)",
+                task_id, state.attempt + 1, attempts_allowed,
+                failure.error_type, failure.message,
+                extra={"task": task_id, "attempt": state.attempt + 1,
+                       "error_type": failure.error_type},
+            )
+            _notify("failed", task_id)
+
+    def _lose_node(node, reason):
+        if node.state == "dead":
+            return
+        node.state = "dead"
+        _update_node_gauges()
+        _LOGGER.warning(
+            "node %s lost (%s)", node.name, reason,
+            extra={"node": node.name, "reason": reason},
+        )
+        _notify("node_lost", f"{node.name}: {reason}")
+        task_id = node.current
+        node.current = None
+        if task_id is None:
+            return
+        state = states[task_id]
+        if state.done or state.node != node.name:
+            return
+        # Same attempt on a surviving node: the task never completed, so
+        # the rerun draws the identical seed and result.
+        state.node = None
+        state.reassignments += 1
+        _TASKS["reassigned"].inc()
+        pending.insert(0, task_id)
+        _notify("reassign", task_id)
+
+    def _handle_message(node, message):
+        kind = message.get("type")
+        if kind == "hello":
+            if message.get("version") != protocol.PROTOCOL_VERSION:
+                _lose_node(node, f"protocol version {message.get('version')!r}")
+            return
+        if kind == "heartbeat":
+            task_id = message.get("task_id")
+            state = states.get(task_id)
+            if state is not None and not state.done and state.node == node.name:
+                state.deadline = clock() + lease_s
+            return
+        if kind != "result":
+            return
+        task_id = message.get("task_id")
+        state = states.get(task_id)
+        wall = float(message.get("wall_time", 0.0))
+        if node.current == task_id:
+            node.current = None
+        if state is None:
+            return
+        if state.done:
+            report.duplicates += 1
+            _TASKS["duplicate"].inc()
+            _notify("duplicate", task_id)
+            return
+        if message.get("ok"):
+            # Accept a deterministic result from whichever node finished
+            # first -- even one presumed dead behind a healed partition.
+            if task_id in pending:
+                pending.remove(task_id)
+            _complete(task_id, message.get("payload"), node.name, wall)
+        else:
+            # Errors are only honored from the current assignee at the
+            # current attempt; anything else is a stale report.
+            if state.node != node.name or message.get("attempt") != state.attempt:
+                return
+            state.node = None
+            _retry_or_fail(task_id, node.name, message["error"], wall)
+
+    def _dispatch():
+        now = clock()
+        for node in _alive():
+            if node.current is not None or not pending:
+                continue
+            chosen = None
+            for task_id in pending:
+                if states[task_id].ready_at <= now:
+                    chosen = task_id
+                    break
+            if chosen is None:
+                return
+            state = states[chosen]
+            seed = protocol.task_seed(base_seed, chosen, state.attempt)
+            try:
+                node.channel.send(protocol.make_task_message(
+                    state.spec, seed, state.attempt, lease_s
+                ))
+            except ChannelClosed as exc:
+                _lose_node(node, f"send failed: {exc}")
+                continue
+            pending.remove(chosen)
+            node.current = chosen
+            state.node = node.name
+            state.deadline = now + lease_s
+            state.started_at = now
+            _notify("assign", f"{chosen} -> {node.name}")
+
+    def _drain():
+        progressed = False
+        for node in list(nodes.values()):
+            channel = node.channel
+            while True:
+                try:
+                    if not channel.poll(0.0):
+                        break
+                    message = channel.recv()
+                except ChannelClosed as exc:
+                    if node.state == "alive":
+                        _lose_node(node, f"channel closed: {exc}")
+                    break
+                progressed = True
+                if node.state == "alive":
+                    _handle_message(node, message)
+                # Messages from dead nodes: only completed results count.
+                elif message.get("type") == "result" and message.get("ok"):
+                    _handle_message(node, message)
+        return progressed
+
+    def _check_deadlines():
+        now = clock()
+        for node in _alive():
+            task_id = node.current
+            if task_id is None:
+                continue
+            state = states[task_id]
+            if now > state.deadline:
+                _LEASE_EXPIRIES.inc()
+                _lose_node(node, f"lease on {task_id} expired")
+            elif task_timeout_s is not None and now - state.started_at > task_timeout_s:
+                _lose_node(node, f"{task_id} exceeded task timeout {task_timeout_s:g}s")
+
+    def _run_local(remaining):
+        """Finish the campaign in-process: slow, serial, but alive."""
+        report.degraded_to_local = True
+        _FALLBACKS.inc()
+        _LOGGER.warning(
+            "all %d node(s) lost; finishing %d task(s) locally",
+            len(nodes), len(remaining),
+            extra={"nodes": len(nodes), "remaining": len(remaining)},
+        )
+        _notify("local_fallback", f"{len(remaining)} task(s)")
+        for task_id in remaining:
+            state = states[task_id]
+            while not state.done:
+                seed = protocol.task_seed(base_seed, task_id, state.attempt)
+                started = time.perf_counter()
+                try:
+                    with trace.span("dist.local_task", task=task_id,
+                                    attempt=state.attempt):
+                        payload = protocol.execute_task(state.spec, seed)
+                        payload = protocol.resolve_payload(payload)
+                except (KeyboardInterrupt, SystemExit):
+                    raise
+                except Exception as exc:
+                    import traceback as traceback_module
+
+                    wall = time.perf_counter() - started
+                    error = {
+                        "error_type": type(exc).__name__, "message": str(exc),
+                        "traceback": "".join(traceback_module.format_exception(
+                            type(exc), exc, exc.__traceback__)),
+                        "transient": isinstance(exc, transient_types),
+                    }
+                    # _retry_or_fail re-queues on pending; local mode
+                    # loops on the state instead.
+                    pending_len = len(pending)
+                    _retry_or_fail(task_id, "local", error, wall)
+                    if len(pending) > pending_len:
+                        pending.remove(task_id)
+                        wait = state.ready_at - clock()
+                        if wait > 0:
+                            sleep(wait)
+                    continue
+                wall = time.perf_counter() - started
+                _TASKS["local"].inc()
+                state.done = True
+                state.wall_time += wall
+                state.attempts_used = state.attempt + 1
+                state.node = "local"
+                completed[task_id] = payload
+                if store is not None:
+                    store.save(task_id, payload, seed, state.attempts_used,
+                               state.wall_time)
+                _notify("completed", task_id)
+
+    # ------------------------------------------------------------------
+    # Main loop
+    # ------------------------------------------------------------------
+    with trace.span("dist.campaign", tasks=len(tasks), nodes=len(nodes)):
+        _update_node_gauges()
+        while any(not state.done for state in states.values()):
+            if not _alive():
+                remaining = [
+                    t.task_id for t in tasks if not states[t.task_id].done
+                ]
+                if not fallback_local:
+                    raise DistError(
+                        f"all {len(nodes)} worker node(s) lost with "
+                        f"{len(remaining)} task(s) outstanding"
+                    )
+                _run_local(remaining)
+                break
+            _dispatch()
+            progressed = _drain()
+            _check_deadlines()
+            if not progressed:
+                sleep(poll_s)
+
+    # ------------------------------------------------------------------
+    # Assemble the report in task order
+    # ------------------------------------------------------------------
+    for task in tasks:
+        state = states[task.task_id]
+        if task.task_id in resumed:
+            status = "resumed"
+            report.resumed.append(task.task_id)
+        elif task.task_id in completed:
+            status = "completed"
+        else:
+            status = "failed"
+        if task.task_id in completed:
+            report.results[task.task_id] = completed[task.task_id]
+        report.records.append(TaskRecord(
+            task_id=task.task_id, status=status, attempts=state.attempts_used,
+            node=state.node, wall_time=state.wall_time,
+            reassignments=state.reassignments,
+        ))
+    report.node_states = {name: node.state for name, node in nodes.items()}
+    _LOGGER.info(
+        "dist campaign finished: %d/%d tasks, %d failure(s), %d node(s) lost",
+        len(report.results), len(tasks), len(report.failures),
+        sum(1 for s in report.node_states.values() if s == "dead"),
+        extra={"tasks": len(tasks), "failures": len(report.failures)},
+    )
+    return report

@@ -1,0 +1,320 @@
+"""Wire protocol and task model for distributed campaigns.
+
+A distributed campaign is an ordered list of :class:`TaskSpec` entries.
+Unlike the thunks driven by :func:`repro.resilience.runner.run_campaign`
+-- which close over arbitrary local state -- a ``TaskSpec`` must cross a
+process (and possibly a machine) boundary, so it names a registered
+*task kind* plus a JSON-able parameter dict.  Workers execute only
+kinds present in their local :func:`task_kinds` registry; arbitrary
+callables are never shipped over the wire.
+
+Built-in kinds:
+
+- ``"experiment"`` -- one experiment of the reproduction suite, rebuilt
+  worker-side from ``(experiment_id, quick, sim_frames, trace_frames)``
+  against the deterministic reference trace;
+- ``"fgn"`` -- one fGn synthesis (``backend``, ``n``, ``hurst``); when
+  a shared :mod:`repro.par.cache` artifact store is active the payload
+  is parked there and only a digest-carrying artifact reference crosses
+  the wire;
+- ``"sleep"`` -- a simulated-latency task (sleep ``duration_s``, return
+  ``value``), the workload of the scheduler benchmarks: it lets a
+  1-CPU host measure coordinator scaling honestly, because sleeping
+  workers genuinely overlap.
+
+Seeds follow the campaign discipline of
+:func:`repro.resilience.runner.derive_attempt_seed`: a task's seed is a
+pure function of ``(base_seed, task_id, attempt)``.  Node loss *keeps*
+the attempt number (the task never ran to completion, so the rerun is
+bit-identical); a genuine task failure rotates it.
+
+Messages are plain dicts with a ``"type"`` key -- see
+:func:`make_task_message` and friends for the exact shapes.  They are
+deliberately pickle-friendly primitives so the same protocol runs over
+:mod:`multiprocessing.connection` sockets and the in-memory simulated
+cluster transport.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+
+import numpy as np
+
+__all__ = [
+    "PROTOCOL_VERSION",
+    "ArtifactMiss",
+    "TaskSpec",
+    "execute_task",
+    "is_artifact_ref",
+    "make_artifact_ref",
+    "register_task_kind",
+    "resolve_payload",
+    "task_kinds",
+    "task_seed",
+]
+
+PROTOCOL_VERSION = 1
+"""Carried in the hello handshake; mismatched peers refuse to pair."""
+
+
+class ArtifactMiss(RuntimeError):
+    """A result referenced a shared-store artifact that cannot be served.
+
+    Raised when the entry is absent or was evicted after failing digest
+    re-verification.  Classified as transient: the coordinator's remedy
+    is to re-run the task, never to trust the stored bytes.
+    """
+
+
+@dataclasses.dataclass(frozen=True)
+class TaskSpec:
+    """One unit of distributable work: a stable id, a kind, parameters."""
+
+    task_id: str
+    kind: str
+    params: dict = dataclasses.field(default_factory=dict)
+
+    def __post_init__(self):
+        if not self.task_id or not isinstance(self.task_id, str):
+            raise ValueError(f"task_id must be a non-empty string, got {self.task_id!r}")
+        if not isinstance(self.params, dict):
+            raise TypeError(f"params must be a dict, got {type(self.params).__name__}")
+
+    def to_wire(self):
+        return {"task_id": self.task_id, "kind": self.kind, "params": dict(self.params)}
+
+    @classmethod
+    def from_wire(cls, doc):
+        return cls(doc["task_id"], doc["kind"], dict(doc.get("params", {})))
+
+
+def task_seed(base_seed, task_id, attempt=0):
+    """Per-attempt task seed; same sha256 discipline as the supervisor."""
+    from repro.resilience.runner import derive_attempt_seed
+
+    return derive_attempt_seed(base_seed, task_id, attempt)
+
+
+# ----------------------------------------------------------------------
+# Task-kind registry
+# ----------------------------------------------------------------------
+_KINDS = {}
+
+
+def register_task_kind(kind, fn):
+    """Register ``fn(params, seed) -> payload`` as executor for ``kind``.
+
+    Registration is process-local: a socket worker only executes kinds
+    its own process registered (the built-ins plus whatever its
+    embedding application added) -- the coordinator cannot inject code.
+    """
+    if not kind or not isinstance(kind, str):
+        raise ValueError(f"kind must be a non-empty string, got {kind!r}")
+    if not callable(fn):
+        raise TypeError(f"executor for {kind!r} must be callable")
+    _KINDS[kind] = fn
+    return fn
+
+
+def task_kinds():
+    """The kinds this process can execute (name -> executor)."""
+    return dict(_KINDS)
+
+
+def execute_task(task, seed):
+    """Run one :class:`TaskSpec` (or wire dict) locally; returns the payload.
+
+    The :func:`repro.resilience.faults.reach` hook fires per task under
+    the site name ``dist.task:<kind>``, so an ambient
+    :class:`~repro.resilience.faults.FaultPlan` can fault distributed
+    work exactly like any other instrumented call site.
+    """
+    from repro.resilience.faults import reach
+
+    if isinstance(task, dict):
+        task = TaskSpec.from_wire(task)
+    fn = _KINDS.get(task.kind)
+    if fn is None:
+        raise ValueError(
+            f"unknown task kind {task.kind!r}; this worker registered "
+            f"{sorted(_KINDS)}"
+        )
+    reach(f"dist.task:{task.kind}")
+    return fn(dict(task.params), seed)
+
+
+# ----------------------------------------------------------------------
+# Artifact references (shared content-addressed store)
+# ----------------------------------------------------------------------
+_ARTIFACT_KEY = "__dist_artifact__"
+
+
+def _payload_digest(array):
+    return hashlib.sha256(np.ascontiguousarray(array).tobytes()).hexdigest()
+
+
+def make_artifact_ref(algorithm, params, array, cache):
+    """Park ``array`` in ``cache`` and return a digest-carrying reference.
+
+    The reference travels instead of the payload; whoever resolves it
+    re-verifies the array bytes against the digest recorded *here*, so
+    a poisoned store entry can never be served end-to-end even if the
+    store's own digest check were bypassed.
+    """
+    array = np.asarray(array)
+    cache.put(algorithm, params, array)
+    return {
+        _ARTIFACT_KEY: PROTOCOL_VERSION,
+        "algorithm": algorithm,
+        "params": dict(params),
+        "digest": _payload_digest(array),
+        "shape": list(array.shape),
+        "dtype": str(array.dtype),
+    }
+
+
+def is_artifact_ref(payload):
+    return isinstance(payload, dict) and _ARTIFACT_KEY in payload
+
+
+def resolve_payload(payload, cache=None):
+    """Fetch an artifact reference from the shared store; verify digest.
+
+    Non-reference payloads pass through untouched.  A missing entry, a
+    store-evicted (poisoned) entry, or a digest mismatch all raise
+    :class:`ArtifactMiss` -- the caller re-runs the task rather than
+    serving doubtful bytes.
+    """
+    if not is_artifact_ref(payload):
+        return payload
+    if cache is None:
+        from repro.par.cache import active_cache
+
+        cache = active_cache()
+    if cache is None:
+        raise ArtifactMiss(
+            f"result of {payload['algorithm']!r} is an artifact reference but no "
+            f"shared cache is configured on this side"
+        )
+    stored = cache.get(payload["algorithm"], payload["params"])
+    if stored is None:
+        raise ArtifactMiss(
+            f"artifact {payload['algorithm']!r} missing from the shared store "
+            f"(absent or evicted after digest re-verification)"
+        )
+    array = np.asarray(stored)
+    if _payload_digest(array) != payload["digest"]:
+        raise ArtifactMiss(
+            f"artifact {payload['algorithm']!r} failed end-to-end digest "
+            f"verification; refusing to serve it"
+        )
+    return array
+
+
+# ----------------------------------------------------------------------
+# Built-in task kinds
+# ----------------------------------------------------------------------
+def _run_experiment_task(params, seed):
+    """One experiment of the suite, rebuilt against the reference trace."""
+    from repro.experiments.data import reference_trace
+    from repro.experiments.runner import experiment_specs
+
+    trace = reference_trace(n_frames=int(params["trace_frames"]))
+    specs = {
+        spec.experiment_id: spec
+        for spec in experiment_specs(
+            trace,
+            quick=bool(params.get("quick", False)),
+            sim_frames=params.get("sim_frames"),
+        )
+    }
+    experiment_id = params["experiment_id"]
+    if experiment_id not in specs:
+        raise ValueError(
+            f"unknown experiment id {experiment_id!r}; known: {sorted(specs)}"
+        )
+    return specs[experiment_id].run(seed)
+
+
+def _run_fgn_task(params, seed):
+    """One fGn synthesis; parks the trace in the shared store when active."""
+    from repro.par.cache import active_cache
+
+    n = int(params["n"])
+    hurst = float(params.get("hurst", 0.8))
+    backend = params.get("backend", "daviesharte")
+    rng = np.random.default_rng(seed)
+    if backend == "daviesharte":
+        from repro.core.daviesharte import davies_harte_fgn
+
+        sample = davies_harte_fgn(n, hurst=hurst, rng=rng)
+    elif backend == "paxson":
+        from repro.core.paxson import paxson_fgn
+
+        sample = paxson_fgn(n, hurst=hurst, rng=rng)
+    else:
+        raise ValueError(f"unknown fgn backend {backend!r}")
+    cache = active_cache()
+    if cache is not None:
+        key_params = {"n": n, "hurst": hurst, "backend": backend, "seed": int(seed)}
+        return make_artifact_ref("dist.fgn", key_params, sample, cache)
+    return sample
+
+
+def _run_sleep_task(params, seed):
+    """Simulated-latency work: occupy a worker without burning a core."""
+    import time
+
+    duration = float(params.get("duration_s", 0.0))
+    if duration > 0.0:
+        time.sleep(duration)
+    return params.get("value")
+
+
+register_task_kind("experiment", _run_experiment_task)
+register_task_kind("fgn", _run_fgn_task)
+register_task_kind("sleep", _run_sleep_task)
+
+
+# ----------------------------------------------------------------------
+# Message constructors (dicts on the wire; one "type" key each)
+# ----------------------------------------------------------------------
+def make_hello(node, pid):
+    return {"type": "hello", "version": PROTOCOL_VERSION, "node": str(node),
+            "pid": int(pid)}
+
+
+def make_task_message(task, seed, attempt, lease_s):
+    return {"type": "task", "task": task.to_wire(), "seed": int(seed),
+            "attempt": int(attempt), "lease_s": float(lease_s)}
+
+
+def make_heartbeat(node, task_id, attempt):
+    return {"type": "heartbeat", "node": str(node), "task_id": str(task_id),
+            "attempt": int(attempt)}
+
+
+def make_result(node, task_id, attempt, payload, wall_time):
+    return {"type": "result", "node": str(node), "task_id": str(task_id),
+            "attempt": int(attempt), "ok": True, "payload": payload,
+            "wall_time": float(wall_time)}
+
+
+def make_error(node, task_id, attempt, exc, wall_time, transient):
+    import traceback as traceback_module
+
+    return {
+        "type": "result", "node": str(node), "task_id": str(task_id),
+        "attempt": int(attempt), "ok": False,
+        "error": {
+            "error_type": type(exc).__name__,
+            "message": str(exc),
+            "traceback": "".join(
+                traceback_module.format_exception(type(exc), exc, exc.__traceback__)
+            ),
+            "transient": bool(transient),
+        },
+        "wall_time": float(wall_time),
+    }

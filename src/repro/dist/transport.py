@@ -1,0 +1,293 @@
+"""Message channels: stdlib sockets and an in-memory simulated fabric.
+
+The coordinator and workers speak through a minimal duplex
+:class:`Channel` interface -- ``send`` / ``poll`` / ``recv`` / ``close``
+-- with two interchangeable implementations:
+
+- :class:`PipeChannel` wraps a :mod:`multiprocessing.connection`
+  ``Connection`` (TCP ``host:port`` or ``unix:/path`` sockets, authkey
+  handshake, pickled messages), for real multi-machine or
+  multi-process deployments via ``repro dist serve``;
+- :class:`SimChannel` is an in-process queue pair whose shared
+  :class:`LinkState` injects the failure modes real networks exhibit:
+  delivery latency, partitions (messages silently dropped for a
+  window), and node death (the link goes permanently dark).  The
+  simulated cluster harness drives every coordinator robustness path
+  through this class on a single CPU.
+
+Both raise :class:`ChannelClosed` once the peer is unreachable for
+good, which the coordinator treats identically to a lease expiry:
+the node is lost and its work is reassigned.
+"""
+
+from __future__ import annotations
+
+import collections
+import threading
+import time
+
+__all__ = [
+    "ChannelClosed",
+    "Channel",
+    "LinkState",
+    "PipeChannel",
+    "SimChannel",
+    "connect",
+    "listen",
+    "parse_address",
+    "probe",
+    "sim_pair",
+]
+
+DEFAULT_AUTHKEY = b"repro-dist"
+"""Default authkey for the socket transport; override in production via
+``--authkey`` / ``REPRO_DIST_AUTHKEY``."""
+
+
+class ChannelClosed(ConnectionError):
+    """The peer is gone for good (closed, died, or unreachable)."""
+
+
+class Channel:
+    """Duplex message channel; messages are picklable dicts."""
+
+    def send(self, message):  # pragma: no cover - interface
+        raise NotImplementedError
+
+    def poll(self, timeout=0.0):  # pragma: no cover - interface
+        raise NotImplementedError
+
+    def recv(self):  # pragma: no cover - interface
+        raise NotImplementedError
+
+    def close(self):  # pragma: no cover - interface
+        raise NotImplementedError
+
+
+# ----------------------------------------------------------------------
+# Socket transport (multiprocessing.connection)
+# ----------------------------------------------------------------------
+def parse_address(address):
+    """``"host:port"`` or ``"unix:/path"`` -> a Listener/Client address."""
+    if not address or not isinstance(address, str):
+        raise ValueError(f"address must be a non-empty string, got {address!r}")
+    if address.startswith("unix:"):
+        path = address[len("unix:"):]
+        if not path:
+            raise ValueError(f"unix address {address!r} is missing a path")
+        return path
+    host, sep, port = address.rpartition(":")
+    if not sep or not host:
+        raise ValueError(
+            f"address {address!r} must look like host:port or unix:/path"
+        )
+    try:
+        return (host, int(port))
+    except ValueError:
+        raise ValueError(f"address {address!r} has a non-integer port") from None
+
+
+class PipeChannel(Channel):
+    """A :mod:`multiprocessing.connection` Connection behind the interface."""
+
+    def __init__(self, connection, name=""):
+        self._conn = connection
+        self.name = name
+
+    def send(self, message):
+        try:
+            self._conn.send(message)
+        except (OSError, ValueError, EOFError, BrokenPipeError) as exc:
+            raise ChannelClosed(f"send to {self.name or 'peer'} failed: {exc}") from exc
+
+    def poll(self, timeout=0.0):
+        try:
+            return self._conn.poll(timeout)
+        except (OSError, EOFError):
+            # A dead peer is "readable": recv() will raise ChannelClosed.
+            return True
+
+    def recv(self):
+        try:
+            return self._conn.recv()
+        except (OSError, EOFError) as exc:
+            raise ChannelClosed(f"recv from {self.name or 'peer'} failed: {exc}") from exc
+
+    def close(self):
+        try:
+            self._conn.close()
+        except OSError:
+            pass
+
+
+def connect(address, authkey=DEFAULT_AUTHKEY, name=None):
+    """Dial a ``repro dist serve`` worker; returns a :class:`PipeChannel`."""
+    from multiprocessing.connection import Client
+
+    try:
+        conn = Client(parse_address(address), authkey=authkey)
+    except (OSError, EOFError, AssertionError) as exc:
+        # AuthenticationError subclasses nothing useful; Client raises
+        # plain OSError for refused connections and EOFError for peers
+        # that hang up mid-handshake.
+        raise ChannelClosed(f"cannot connect to {address}: {exc}") from exc
+    return PipeChannel(conn, name=name or address)
+
+
+def listen(address, authkey=DEFAULT_AUTHKEY):
+    """A Listener bound to ``address`` (``host:0`` picks a free port)."""
+    from multiprocessing.connection import Listener
+
+    return Listener(parse_address(address), authkey=authkey)
+
+
+def probe(address, authkey=DEFAULT_AUTHKEY, timeout_s=2.0):
+    """Ping one worker endpoint; returns ``(ok, rtt_s_or_None, detail)``.
+
+    Used by the ``repro doctor`` cluster preflight.  The handshake and
+    the ping/pong round trip share one deadline, enforced from a helper
+    thread because the stdlib Client has no connect timeout.
+    """
+    box = {}
+
+    def _dial():
+        try:
+            channel = connect(address, authkey=authkey)
+            started = time.perf_counter()
+            channel.send({"type": "ping"})
+            while True:
+                if not channel.poll(timeout_s):
+                    raise ChannelClosed("no pong within the probe deadline")
+                reply = channel.recv()
+                if reply.get("type") == "pong":
+                    break
+                if reply.get("type") != "hello":  # hello precedes the pong
+                    raise ChannelClosed(f"unexpected reply {reply.get('type')!r}")
+            box["rtt"] = time.perf_counter() - started
+            box["node"] = reply.get("node", "")
+            channel.send({"type": "detach"})
+            channel.close()
+        except (ChannelClosed, Exception) as exc:  # noqa: BLE001 - reported, not raised
+            box["error"] = f"{type(exc).__name__}: {exc}"
+
+    worker = threading.Thread(target=_dial, name=f"probe-{address}", daemon=True)
+    worker.start()
+    worker.join(timeout_s)
+    if worker.is_alive():
+        return False, None, f"no response within {timeout_s:g}s"
+    if "error" in box:
+        return False, None, box["error"]
+    return True, box["rtt"], box.get("node", "")
+
+
+# ----------------------------------------------------------------------
+# Simulated fabric
+# ----------------------------------------------------------------------
+class LinkState:
+    """Shared failure state of one simulated coordinator<->node link.
+
+    Mutated by the fault script while both endpoints run:
+
+    - ``latency_s`` delays delivery of every message;
+    - ``partition(duration)`` silently drops everything sent during the
+      window (both directions), modelling a network partition -- late
+      messages are *lost*, not delayed, exactly like a TCP reset;
+    - ``kill()`` makes the link permanently dark: sends from the dead
+      side vanish, and the living side's sends raise
+      :class:`ChannelClosed` only when the dead endpoint is also
+      closed -- a SIGKILLed node simply goes silent first.
+    """
+
+    def __init__(self, latency_s=0.0, clock=time.monotonic):
+        self.clock = clock
+        self.latency_s = float(latency_s)
+        self.partition_until = 0.0
+        self.dead = False
+        self.lock = threading.Lock()
+        self.condition = threading.Condition(self.lock)
+
+    def partition(self, duration_s):
+        with self.lock:
+            self.partition_until = max(
+                self.partition_until, self.clock() + float(duration_s)
+            )
+
+    def set_latency(self, latency_s):
+        with self.lock:
+            self.latency_s = float(latency_s)
+
+    def kill(self):
+        with self.condition:
+            self.dead = True
+            self.condition.notify_all()
+
+    def partitioned(self):
+        return self.clock() < self.partition_until
+
+
+class SimChannel(Channel):
+    """One endpoint of an in-memory link; see :class:`LinkState`."""
+
+    def __init__(self, link, inbox, outbox, name=""):
+        self._link = link
+        self._inbox = inbox  # deque of (deliver_at, message)
+        self._outbox = outbox
+        self.name = name
+
+    @property
+    def link(self):
+        return self._link
+
+    def send(self, message):
+        link = self._link
+        with link.condition:
+            if link.dead:
+                raise ChannelClosed(f"link {self.name or 'sim'} is dead")
+            if link.partitioned():
+                return  # dropped on the floor, like a partitioned network
+            self._outbox.append((link.clock() + link.latency_s, message))
+            link.condition.notify_all()
+
+    def _deliverable(self):
+        return self._inbox and self._inbox[0][0] <= self._link.clock()
+
+    def poll(self, timeout=0.0):
+        link = self._link
+        deadline = link.clock() + max(float(timeout), 0.0)
+        with link.condition:
+            while True:
+                if self._deliverable():
+                    return True
+                if link.dead:
+                    return True  # recv() will raise ChannelClosed
+                now = link.clock()
+                if now >= deadline:
+                    return False
+                # Wake early enough to deliver a latency-delayed message.
+                wait = deadline - now
+                if self._inbox:
+                    wait = min(wait, max(self._inbox[0][0] - now, 0.0))
+                link.condition.wait(min(wait, 0.05) or 0.001)
+
+    def recv(self):
+        link = self._link
+        with link.condition:
+            while True:
+                if self._deliverable():
+                    return self._inbox.popleft()[1]
+                if link.dead:
+                    raise ChannelClosed(f"link {self.name or 'sim'} is dead")
+                link.condition.wait(0.01)
+
+    def close(self):
+        self._link.kill()
+
+
+def sim_pair(name="", latency_s=0.0, clock=time.monotonic):
+    """``(coordinator_end, node_end)`` of a fresh simulated link."""
+    link = LinkState(latency_s=latency_s, clock=clock)
+    a_to_b = collections.deque()
+    b_to_a = collections.deque()
+    a = SimChannel(link, inbox=b_to_a, outbox=a_to_b, name=f"{name}:coord")
+    b = SimChannel(link, inbox=a_to_b, outbox=b_to_a, name=f"{name}:node")
+    return a, b

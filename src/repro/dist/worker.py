@@ -1,0 +1,244 @@
+"""The worker side of the lease/heartbeat protocol.
+
+:class:`WorkerLoop` serves one coordinator over any
+:class:`~repro.dist.transport.Channel`: it announces itself, executes
+``task`` messages through the :mod:`repro.dist.protocol` registry, and
+heartbeats while an attempt runs so the coordinator's lease stays
+fresh.  The same loop runs inside ``repro dist serve`` (socket
+transport, one process per node) and inside the simulated cluster
+(thread per node), which is what makes the simulated chaos results
+meaningful: the code under test *is* the production worker.
+
+Execution model: the attempt runs on a daemon thread while the loop
+thread emits a heartbeat every ``lease_s / 4``.  The loop thread is
+also where injected node faults fire (see
+:class:`~repro.dist.simcluster.FaultScript`):
+
+- :class:`NodeKilled` abandons the loop instantly without a goodbye --
+  the coordinator only learns via the missed heartbeats, exactly like
+  a SIGKILL;
+- :class:`NodeHang` blocks the loop *without* heartbeats (a frozen
+  process);
+- :class:`NodeStall` keeps heartbeating but never delivers the result
+  (livelock / infinite loop in user code), the case the coordinator's
+  hard per-attempt ``task_timeout_s`` exists for.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+
+from repro.dist import protocol
+from repro.dist.transport import ChannelClosed
+from repro.obs import log as obs_log
+from repro.obs import metrics
+
+__all__ = ["NodeKilled", "NodeHang", "NodeStall", "WorkerLoop", "serve"]
+
+_LOGGER = obs_log.get_logger("dist.worker")
+
+_EXECUTED = metrics.registry().counter(
+    "repro_dist_worker_tasks_total",
+    help="Task attempts executed by this worker process",
+    unit="tasks",
+)
+
+
+class NodeKilled(BaseException):
+    """Injected SIGKILL: the node vanishes mid-protocol, no goodbye."""
+
+
+class NodeHang(BaseException):
+    """Injected freeze: the node stops heartbeating but stays attached."""
+
+    def __init__(self, duration_s=60.0):
+        super().__init__(f"node hung for {duration_s:g}s")
+        self.duration_s = float(duration_s)
+
+
+class NodeStall(BaseException):
+    """Injected livelock: heartbeats continue, the result never comes."""
+
+    def __init__(self, duration_s=60.0):
+        super().__init__(f"node stalled for {duration_s:g}s")
+        self.duration_s = float(duration_s)
+
+
+class WorkerLoop:
+    """Serve one coordinator until shutdown, detach, or channel loss.
+
+    Parameters
+    ----------
+    channel:
+        The duplex channel to the coordinator.
+    name:
+        Node name announced in the hello message.
+    fault_hook:
+        Optional ``fn(phase, task_index)`` called on the loop thread at
+        ``"task_start"`` (after receiving an assignment) and
+        ``"task_finish"`` (after the attempt, before the result is
+        sent); may raise the injected-fault exceptions above.
+    transient_types:
+        Exception types reported as retriable, mirroring the
+        supervisor's classification.
+    abort:
+        Optional :class:`threading.Event`; set to cut short injected
+        hangs/stalls at harness teardown.
+    """
+
+    def __init__(self, channel, *, name="worker", fault_hook=None,
+                 transient_types=None, abort=None, clock=time.monotonic):
+        if transient_types is None:
+            from repro.resilience.runner import TRANSIENT_TYPES
+
+            transient_types = TRANSIENT_TYPES
+        self.channel = channel
+        self.name = str(name)
+        self.fault_hook = fault_hook
+        self.transient_types = tuple(transient_types)
+        self.abort = abort if abort is not None else threading.Event()
+        self.clock = clock
+        self.tasks_started = 0
+
+    # ------------------------------------------------------------------
+    def run(self):
+        """Process messages until the coordinator lets go of this node."""
+        try:
+            self.channel.send(protocol.make_hello(self.name, os.getpid()))
+            while not self.abort.is_set():
+                if not self.channel.poll(0.05):
+                    continue
+                message = self.channel.recv()
+                kind = message.get("type")
+                if kind == "task":
+                    self._serve_task(message)
+                elif kind == "ping":
+                    self.channel.send({"type": "pong", "node": self.name})
+                elif kind in ("shutdown", "detach"):
+                    return kind
+        except ChannelClosed:
+            return "lost"
+        except NodeKilled:
+            return "killed"
+        return "aborted"
+
+    # ------------------------------------------------------------------
+    def _hook(self, phase):
+        if self.fault_hook is not None:
+            self.fault_hook(phase, self.tasks_started)
+
+    def _serve_task(self, message):
+        task = message["task"]
+        seed = message["seed"]
+        attempt = message["attempt"]
+        heartbeat_s = max(float(message.get("lease_s", 1.0)) / 4.0, 0.01)
+        self.tasks_started += 1
+        try:
+            self._hook("task_start")
+        except NodeHang as hang:
+            self.abort.wait(hang.duration_s)  # frozen: no heartbeat, no result
+            return
+        box = {}
+
+        def _attempt():
+            started = time.perf_counter()
+            try:
+                box["payload"] = protocol.execute_task(task, seed)
+            except (KeyboardInterrupt, SystemExit):
+                raise
+            except Exception as exc:  # shipped to the coordinator
+                box["error"] = exc
+            box["wall"] = time.perf_counter() - started
+
+        runner = threading.Thread(
+            target=_attempt,
+            name=f"dist-{self.name}-{task['task_id']}",
+            daemon=True,
+        )
+        runner.start()
+        while runner.is_alive():
+            runner.join(heartbeat_s)
+            if runner.is_alive():
+                self.channel.send(
+                    protocol.make_heartbeat(self.name, task["task_id"], attempt)
+                )
+        _EXECUTED.inc()
+        try:
+            self._hook("task_finish")
+        except NodeHang as hang:
+            # Froze after computing but before sending: the result is lost.
+            self.abort.wait(hang.duration_s)
+            return
+        except NodeStall as stall:
+            deadline = self.clock() + stall.duration_s
+            while self.clock() < deadline and not self.abort.is_set():
+                self.channel.send(
+                    protocol.make_heartbeat(self.name, task["task_id"], attempt)
+                )
+                self.abort.wait(heartbeat_s)
+            return
+        if "error" in box:
+            exc = box["error"]
+            _LOGGER.warning(
+                "task %s attempt %d failed on %s (%s: %s)",
+                task["task_id"], attempt + 1, self.name,
+                type(exc).__name__, exc,
+                extra={"task": task["task_id"], "node": self.name,
+                       "attempt": attempt + 1, "error_type": type(exc).__name__},
+            )
+            self.channel.send(protocol.make_error(
+                self.name, task["task_id"], attempt, exc, box["wall"],
+                transient=isinstance(exc, self.transient_types),
+            ))
+        else:
+            self.channel.send(protocol.make_result(
+                self.name, task["task_id"], attempt, box["payload"], box["wall"]
+            ))
+
+
+def serve(address, *, authkey=None, name=None, once=False, cache_dir=None,
+          ready=None):
+    """Run a socket worker node: accept coordinators, serve campaigns.
+
+    Binds ``address`` (``host:port``, ``host:0`` for an ephemeral port,
+    or ``unix:/path``) and serves one coordinator connection at a time;
+    each disconnect returns the node to accepting (``once=True`` serves
+    a single connection, for tests).  ``cache_dir`` configures the
+    process-wide shared artifact store so fGn payloads are exchanged by
+    digest-verified reference instead of over the socket.  ``ready``,
+    when given, is called with the bound Listener address before the
+    first accept.
+    """
+    from repro.dist import transport
+
+    if cache_dir is not None:
+        from repro.par import cache as par_cache
+
+        par_cache.configure(cache_dir)
+    key = transport.DEFAULT_AUTHKEY if authkey is None else authkey
+    node = name or f"{os.uname().nodename}-{os.getpid()}"
+    with transport.listen(address, authkey=key) as listener:
+        bound = listener.address
+        _LOGGER.info("dist worker %s serving on %s", node, bound,
+                     extra={"node": node, "address": str(bound)})
+        if ready is not None:
+            ready(bound)
+        while True:
+            try:
+                conn = listener.accept()
+            except (OSError, EOFError, Exception) as exc:  # noqa: BLE001
+                # Includes AuthenticationError from a bad authkey; keep
+                # serving -- one bad client must not take the node down.
+                if isinstance(exc, KeyboardInterrupt):  # pragma: no cover
+                    raise
+                _LOGGER.warning("rejected connection: %s", exc)
+                continue
+            channel = transport.PipeChannel(conn, name=node)
+            outcome = WorkerLoop(channel, name=node).run()
+            channel.close()
+            _LOGGER.info("coordinator detached (%s)", outcome,
+                         extra={"node": node, "outcome": outcome})
+            if once or outcome == "shutdown":
+                return outcome

@@ -124,7 +124,8 @@ def campaign_manifest(trace, quick, sim_frames):
 def run_all(trace=None, quick=False, sim_frames=None, *, only=None,
             checkpoint_dir=None, resume=True, max_retries=0, timeout_s=None,
             base_seed=0, fault_plan=None, report=False, sleep=None,
-            on_event=None, workers=1):
+            on_event=None, workers=1, nodes=None, lease_s=10.0,
+            task_timeout_s=None):
     """Execute every experiment; returns ``{experiment_id: result}``.
 
     ``quick=True`` truncates the trace to 40,000 frames and shrinks the
@@ -157,7 +158,37 @@ def run_all(trace=None, quick=False, sim_frames=None, *, only=None,
     supervisor (threads; see :func:`repro.resilience.runner.run_campaign`).
     Results, records and checkpoint digests are identical at every
     worker count.
+
+    ``nodes`` distributes the suite over worker nodes instead
+    (``"sim:3"`` or ``"host:port,..."``; see
+    :func:`repro.dist.campaign.run_suite`), with ``lease_s`` /
+    ``task_timeout_s`` tuning the fault-detection deadlines.  The
+    distributed path requires the default reference trace (workers
+    rebuild it deterministically; an in-memory trace cannot cross the
+    wire) and returns the same shapes: the results dict, or a report
+    duck-typing :class:`~repro.resilience.runner.CampaignReport` under
+    ``report=True``.  Results match the local supervisor bit for bit.
     """
+    if nodes is not None:
+        if trace is not None:
+            raise ValueError(
+                "nodes= distributes against the deterministic reference "
+                "trace; a custom in-memory trace cannot cross the wire"
+            )
+        if fault_plan is not None or timeout_s is not None or sleep is not None:
+            raise ValueError(
+                "fault_plan/timeout_s/sleep apply to the local supervisor; "
+                "distributed campaigns tune lease_s/task_timeout_s instead"
+            )
+        from repro.dist.campaign import run_suite
+
+        campaign = run_suite(
+            nodes, quick=quick, sim_frames=sim_frames, only=only,
+            base_seed=base_seed, max_retries=max_retries, lease_s=lease_s,
+            task_timeout_s=task_timeout_s, checkpoint_dir=checkpoint_dir,
+            resume=resume, on_event=on_event,
+        )
+        return campaign if report else campaign.results
     if trace is None:
         trace = reference_trace(n_frames=40_000 if quick else 171_000)
     specs = experiment_specs(trace, quick=quick, sim_frames=sim_frames)

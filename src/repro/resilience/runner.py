@@ -57,6 +57,7 @@ __all__ = [
     "ExperimentRecord",
     "ExperimentSpec",
     "derive_attempt_seed",
+    "leaked_threads",
     "run_campaign",
 ]
 
@@ -81,6 +82,52 @@ TRANSIENT_TYPES = (MemoryError, TimeoutError, OSError, TransientFault, RuntimeEr
 """Exception types retried by default: resource pressure, timeouts and
 runtime flakes.  ``ValueError``/``TypeError`` (bad configuration or a
 genuine defect) fail an experiment on the first attempt."""
+
+_LEAKED_LOCK = threading.Lock()
+_LEAKED_THREADS = set()
+"""Worker threads abandoned by a soft timeout that are still running.
+
+A soft timeout cannot preempt Python code, so the timed-out attempt
+keeps executing on its daemon thread until it finishes on its own.
+Each such thread is tracked here (and in the
+``repro_resilience_leaked_threads`` gauge) from the moment it is
+abandoned until it exits, so operators can see how much zombie work a
+campaign is dragging along -- the usual cause of "the campaign is done
+but the process is still hot".
+"""
+
+_LEAKED_GAUGE = metrics.registry().gauge(
+    "repro_resilience_leaked_threads",
+    help="Timed-out experiment threads abandoned but still running",
+    unit="threads",
+)
+
+
+def _sync_leaked_gauge_locked():
+    _LEAKED_THREADS.difference_update(
+        [t for t in _LEAKED_THREADS if not t.is_alive()]
+    )
+    _LEAKED_GAUGE.set(len(_LEAKED_THREADS))
+
+
+def _note_leak(thread):
+    with _LEAKED_LOCK:
+        if thread.is_alive():
+            _LEAKED_THREADS.add(thread)
+        _sync_leaked_gauge_locked()
+
+
+def _note_leaked_exit(thread):
+    with _LEAKED_LOCK:
+        _LEAKED_THREADS.discard(thread)
+        _sync_leaked_gauge_locked()
+
+
+def leaked_threads():
+    """Names of soft-timeout threads still running right now."""
+    with _LEAKED_LOCK:
+        _sync_leaked_gauge_locked()
+        return sorted(t.name for t in _LEAKED_THREADS)
 
 
 def derive_attempt_seed(base_seed, experiment_id, attempt=0):
@@ -112,7 +159,12 @@ class ExperimentSpec:
 
 @dataclasses.dataclass(frozen=True)
 class ExperimentFailure:
-    """Structured record of one failed attempt."""
+    """Structured record of one failed attempt.
+
+    ``leaked_thread`` is set on soft-timeout failures: the name of the
+    abandoned worker thread that was still executing the attempt when
+    the supervisor gave up on it (see :func:`leaked_threads`).
+    """
 
     experiment_id: str
     attempt: int
@@ -122,12 +174,14 @@ class ExperimentFailure:
     seed: int
     wall_time: float
     transient: bool
+    leaked_thread: str | None = None
 
     def describe(self):
         kind = "transient" if self.transient else "terminal"
+        leak = f", leaked thread {self.leaked_thread}" if self.leaked_thread else ""
         return (
             f"{self.experiment_id} attempt {self.attempt + 1}: "
-            f"{self.error_type}: {self.message} ({kind}, {self.wall_time:.2f}s)"
+            f"{self.error_type}: {self.message} ({kind}, {self.wall_time:.2f}s{leak})"
         )
 
 
@@ -303,10 +357,23 @@ class CheckpointStore:
 def _call_with_timeout(spec, seed, timeout_s):
     """Run one attempt, optionally under a soft timeout.
 
-    The attempt runs on a daemon thread; on timeout a ``TimeoutError``
-    is raised here and the stale thread is abandoned (its eventual
-    result is discarded).  Soft by design: Python offers no safe
-    preemption, and an abandoned numeric attempt holds no locks.
+    Contract -- the timeout is *soft*, and callers must know what that
+    buys and what it does not:
+
+    - The attempt runs on a daemon thread; on timeout a
+      ``TimeoutError`` is raised here and the thread is **abandoned,
+      not stopped** -- Python offers no safe preemption.  The attempt
+      keeps running (and consuming CPU/memory) until it returns on its
+      own; its eventual result is discarded.
+    - Every abandoned-but-alive thread is tracked: the
+      ``repro_resilience_leaked_threads`` gauge counts them live,
+      :func:`leaked_threads` names them, and the raised
+      ``TimeoutError`` carries ``.leaked_thread`` (stamped into the
+      :class:`ExperimentFailure` by the supervisor) so a timeout in a
+      report is distinguishable from a crash.
+    - Abandonment is safe for this codebase's numeric attempts (pure
+      compute, no locks held); an attempt that holds external
+      resources should manage its own deadline instead.
     """
     if timeout_s is None:
         return spec.run(seed)
@@ -317,6 +384,10 @@ def _call_with_timeout(spec, seed, timeout_s):
             box["result"] = spec.run(seed)
         except BaseException as exc:  # delivered to the supervisor thread
             box["error"] = exc
+        finally:
+            # If this thread was abandoned by a timeout below, its exit
+            # is the leak ending; retire it from the gauge.
+            _note_leaked_exit(threading.current_thread())
 
     worker = threading.Thread(
         target=_target, name=f"experiment-{spec.experiment_id}", daemon=True
@@ -324,9 +395,19 @@ def _call_with_timeout(spec, seed, timeout_s):
     worker.start()
     worker.join(timeout_s)
     if worker.is_alive():
-        raise TimeoutError(
+        _note_leak(worker)
+        _LOGGER.warning(
+            "experiment %s timed out after %gs; abandoning still-running "
+            "thread %s (%d leaked thread(s) live)",
+            spec.experiment_id, timeout_s, worker.name, len(leaked_threads()),
+            extra={"experiment": spec.experiment_id, "timeout_s": timeout_s,
+                   "leaked_thread": worker.name},
+        )
+        error = TimeoutError(
             f"experiment {spec.experiment_id!r} exceeded the soft timeout of {timeout_s:g}s"
         )
+        error.leaked_thread = worker.name
+        raise error
     if "error" in box:
         raise box["error"]
     return box["result"]
@@ -396,6 +477,7 @@ def _run_spec(spec, *, store, resume, base_seed, max_retries, timeout_s,
                 seed=seed,
                 wall_time=wall,
                 transient=transient,
+                leaked_thread=getattr(exc, "leaked_thread", None),
             )
             outcome.attempt_failures.append(failure)
             if transient and attempt + 1 < attempts_allowed:

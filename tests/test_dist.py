@@ -1,0 +1,524 @@
+"""Tier-1 tests for the distributed campaign layer.
+
+Covers the protocol (task model, seeds, artifact references), the
+transports (address parsing, the simulated fabric's latency/partition/
+death semantics, a real unix-socket worker), the coordinator's
+robustness paths (retry, lease expiry and reassignment, stalled-worker
+timeout, local fallback, checkpoint/resume) and the campaign/CLI
+wiring.  The multi-scenario digest-identity wall lives in
+``test_dist_chaos.py``; scheduler benchmarks in
+``benchmarks/test_dist.py``.
+"""
+
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.dist import (
+    ArtifactMiss,
+    ChannelClosed,
+    DistError,
+    FaultEvent,
+    FaultScript,
+    SimCluster,
+    TaskSpec,
+    WorkerLoop,
+    execute_task,
+    fgn_tasks,
+    make_artifact_ref,
+    parse_nodes,
+    register_task_kind,
+    resolve_payload,
+    run_distributed,
+    task_seed,
+)
+from repro.dist import protocol, transport
+from repro.dist.transport import sim_pair
+from repro.par.cache import ContentCache
+from repro.resilience.faults import FaultPlan, TransientFault
+from repro.resilience.runner import derive_attempt_seed
+
+
+class TestProtocol:
+    def test_task_spec_wire_round_trip(self):
+        task = TaskSpec("t1", "sleep", {"duration_s": 0.0, "value": 3})
+        assert TaskSpec.from_wire(task.to_wire()) == task
+
+    def test_task_spec_validation(self):
+        with pytest.raises(ValueError, match="task_id"):
+            TaskSpec("", "sleep")
+        with pytest.raises(TypeError, match="params"):
+            TaskSpec("t", "sleep", params=[1])
+
+    def test_task_seed_matches_supervisor_discipline(self):
+        assert task_seed(7, "fgn003", 2) == derive_attempt_seed(7, "fgn003", 2)
+        assert task_seed(7, "fgn003", 0) != task_seed(7, "fgn003", 1)
+
+    def test_unknown_kind_is_an_error(self):
+        with pytest.raises(ValueError, match="unknown task kind"):
+            execute_task(TaskSpec("t", "no-such-kind"), seed=0)
+
+    def test_register_task_kind_validation(self):
+        with pytest.raises(ValueError, match="kind"):
+            register_task_kind("", lambda params, seed: None)
+        with pytest.raises(TypeError, match="callable"):
+            register_task_kind("bad", "not-callable")
+
+    def test_execute_fires_reach_site(self):
+        plan = FaultPlan().fail_at("dist.task:sleep", call=1, exc=TransientFault)
+        with plan.active():
+            with pytest.raises(TransientFault):
+                execute_task(TaskSpec("t", "sleep", {"duration_s": 0.0}), seed=0)
+
+    def test_fgn_task_is_seed_deterministic(self):
+        task = TaskSpec("f", "fgn", {"n": 256, "hurst": 0.8})
+        a = execute_task(task, seed=task_seed(0, "f", 0))
+        b = execute_task(task, seed=task_seed(0, "f", 0))
+        c = execute_task(task, seed=task_seed(0, "f", 1))
+        np.testing.assert_array_equal(a, b)
+        assert not np.array_equal(a, c)
+
+
+class TestArtifactRefs:
+    def test_round_trip_through_store(self, tmp_path):
+        cache = ContentCache(tmp_path)
+        array = np.arange(64.0)
+        ref = make_artifact_ref("dist.fgn", {"seed": 1}, array, cache)
+        assert protocol.is_artifact_ref(ref)
+        np.testing.assert_array_equal(resolve_payload(ref, cache), array)
+
+    def test_plain_payloads_pass_through(self, tmp_path):
+        assert resolve_payload({"knees": 3}, ContentCache(tmp_path)) == {"knees": 3}
+        assert resolve_payload(41, None) == 41
+
+    def test_missing_entry_raises_artifact_miss(self, tmp_path):
+        cache = ContentCache(tmp_path)
+        ref = make_artifact_ref("dist.fgn", {"seed": 1}, np.arange(8.0), cache)
+        payload_path, meta_path = cache.entry_paths("dist.fgn", {"seed": 1})
+        payload_path.unlink()
+        meta_path.unlink()
+        with pytest.raises(ArtifactMiss, match="missing"):
+            resolve_payload(ref, cache)
+
+    def test_poisoned_entry_never_served(self, tmp_path):
+        cache = ContentCache(tmp_path)
+        ref = make_artifact_ref("dist.fgn", {"seed": 1}, np.arange(8.0), cache)
+        payload_path, _ = cache.entry_paths("dist.fgn", {"seed": 1})
+        blob = bytearray(payload_path.read_bytes())
+        blob[len(blob) // 2] ^= 0xFF
+        payload_path.write_bytes(bytes(blob))
+        # The store's own digest check evicts the entry -> miss.
+        with pytest.raises(ArtifactMiss):
+            resolve_payload(ref, cache)
+
+    def test_end_to_end_digest_check_catches_store_bypass(self, tmp_path):
+        # Same key, different bytes: even if the store serves happily,
+        # the reference's own digest refuses the payload.
+        cache = ContentCache(tmp_path)
+        ref = make_artifact_ref("dist.fgn", {"seed": 1}, np.arange(8.0), cache)
+        cache.put("dist.fgn", {"seed": 1}, np.zeros(8))
+        with pytest.raises(ArtifactMiss, match="end-to-end digest"):
+            resolve_payload(ref, cache)
+
+    def test_no_cache_configured_is_a_miss(self, tmp_path):
+        cache = ContentCache(tmp_path)
+        ref = make_artifact_ref("dist.fgn", {"seed": 1}, np.arange(8.0), cache)
+        with pytest.raises(ArtifactMiss, match="no.*shared cache"):
+            resolve_payload(ref, cache=None)
+
+
+class TestTransport:
+    def test_parse_address(self):
+        assert transport.parse_address("127.0.0.1:9001") == ("127.0.0.1", 9001)
+        assert transport.parse_address("unix:/tmp/x.sock") == "/tmp/x.sock"
+        for bad in ("", "nohost", "host:", "host:abc", "unix:"):
+            with pytest.raises(ValueError):
+                transport.parse_address(bad)
+
+    def test_sim_pair_delivers_both_ways(self):
+        a, b = sim_pair("t")
+        a.send({"type": "ping"})
+        assert b.poll(0.5) and b.recv() == {"type": "ping"}
+        b.send({"type": "pong"})
+        assert a.poll(0.5) and a.recv() == {"type": "pong"}
+        assert not a.poll(0.0)
+
+    def test_partition_drops_messages_silently(self):
+        a, b = sim_pair("t")
+        a.link.partition(60.0)
+        a.send({"type": "lost"})  # no error, no delivery
+        assert not b.poll(0.05)
+
+    def test_killed_link_raises_channel_closed(self):
+        a, b = sim_pair("t")
+        a.link.kill()
+        with pytest.raises(ChannelClosed):
+            a.send({"type": "x"})
+        assert b.poll(0.05)  # dead link is "readable" so recv can raise
+        with pytest.raises(ChannelClosed):
+            b.recv()
+
+    def test_latency_delays_delivery(self):
+        a, b = sim_pair("t", latency_s=0.15)
+        a.send({"type": "slow"})
+        assert not b.poll(0.0)
+        assert b.poll(1.0)
+        assert b.recv() == {"type": "slow"}
+
+    def test_unix_socket_serve_probe_detach(self, tmp_path):
+        from repro.dist.worker import serve
+
+        address = f"unix:{tmp_path / 'w.sock'}"
+        ready = threading.Event()
+        outcome = {}
+
+        def _serve():
+            outcome["result"] = serve(
+                address, name="w-test", once=True, ready=lambda bound: ready.set()
+            )
+
+        thread = threading.Thread(target=_serve, daemon=True)
+        thread.start()
+        assert ready.wait(5.0)
+        ok, rtt, detail = transport.probe(address)
+        assert ok and rtt is not None and detail == "w-test"
+        thread.join(5.0)
+        assert outcome.get("result") == "detach"
+
+    def test_probe_unreachable(self, tmp_path):
+        ok, rtt, detail = transport.probe(
+            f"unix:{tmp_path / 'nothing.sock'}", timeout_s=0.5
+        )
+        assert not ok and rtt is None and detail
+
+
+class TestWorkerLoop:
+    def test_hello_task_result_shutdown(self):
+        coord, node = sim_pair("t")
+        loop = WorkerLoop(node, name="w0")
+        thread = threading.Thread(target=lambda: loop.run(), daemon=True)
+        thread.start()
+        assert coord.poll(2.0)
+        hello = coord.recv()
+        assert hello["type"] == "hello" and hello["node"] == "w0"
+        task = TaskSpec("t1", "sleep", {"duration_s": 0.0, "value": 9})
+        coord.send(protocol.make_task_message(task, seed=1, attempt=0, lease_s=1.0))
+        message = coord.recv() if coord.poll(2.0) else None
+        while message is not None and message["type"] == "heartbeat":
+            message = coord.recv() if coord.poll(2.0) else None
+        assert message is not None and message["ok"] and message["payload"] == 9
+        coord.send({"type": "shutdown"})
+        thread.join(2.0)
+        assert not thread.is_alive()
+
+    def test_heartbeats_flow_during_long_task(self):
+        coord, node = sim_pair("t")
+        loop = WorkerLoop(node, name="w0")
+        thread = threading.Thread(target=lambda: loop.run(), daemon=True)
+        thread.start()
+        coord.recv()  # hello
+        task = TaskSpec("slow", "sleep", {"duration_s": 0.4, "value": 1})
+        coord.send(protocol.make_task_message(task, seed=1, attempt=0, lease_s=0.2))
+        beats = 0
+        while coord.poll(2.0):
+            message = coord.recv()
+            if message["type"] == "heartbeat":
+                beats += 1
+                assert message["task_id"] == "slow"
+            elif message["type"] == "result":
+                break
+        assert beats >= 2
+        coord.send({"type": "shutdown"})
+        thread.join(2.0)
+
+    def test_task_error_reported_with_transient_flag(self):
+        coord, node = sim_pair("t")
+        loop = WorkerLoop(node, name="w0")
+        thread = threading.Thread(target=lambda: loop.run(), daemon=True)
+        thread.start()
+        coord.recv()  # hello
+        task = TaskSpec("bad", "no-such-kind", {})
+        coord.send(protocol.make_task_message(task, seed=1, attempt=0, lease_s=1.0))
+        assert coord.poll(2.0)
+        message = coord.recv()
+        assert not message["ok"]
+        assert message["error"]["error_type"] == "ValueError"
+        assert not message["error"]["transient"]
+        coord.send({"type": "shutdown"})
+        thread.join(2.0)
+
+
+def _sleep_tasks(n, duration_s=0.0):
+    return [
+        TaskSpec(f"t{i}", "sleep", {"duration_s": duration_s, "value": i})
+        for i in range(n)
+    ]
+
+
+class TestCoordinator:
+    def test_results_in_task_order_any_node_count(self):
+        tasks = _sleep_tasks(7)
+        expected = {f"t{i}": i for i in range(7)}
+        for nodes in (1, 3):
+            with SimCluster(nodes) as cluster:
+                report = run_distributed(tasks, cluster.endpoints(), lease_s=2.0)
+            assert report.ok
+            assert report.results == expected
+            assert [r.task_id for r in report.records] == [t.task_id for t in tasks]
+
+    def test_duplicate_task_ids_rejected(self):
+        with pytest.raises(ValueError, match="duplicate task id"):
+            run_distributed([TaskSpec("t", "sleep"), TaskSpec("t", "sleep")], {})
+
+    def test_transient_failure_retries_with_rotated_seed(self):
+        plan = FaultPlan().fail_at("dist.task:fgn", call=1, exc=TransientFault)
+        tasks = fgn_tasks(3, 256)
+        with plan.active():
+            with SimCluster(1) as cluster:
+                report = run_distributed(
+                    tasks, cluster.endpoints(), lease_s=2.0, max_retries=1,
+                    base_seed=3,
+                )
+        assert report.ok
+        assert len(report.attempt_failures) == 1
+        failed = report.attempt_failures[0]
+        assert failed.transient and failed.attempt == 0
+        record = next(r for r in report.records if r.task_id == failed.task_id)
+        assert record.attempts == 2  # second attempt, rotated seed, succeeded
+
+    def test_terminal_failure_recorded_campaign_continues(self):
+        tasks = _sleep_tasks(3) + [TaskSpec("bad", "no-such-kind")]
+        with SimCluster(2) as cluster:
+            report = run_distributed(tasks, cluster.endpoints(), lease_s=2.0,
+                                     max_retries=2)
+        assert not report.ok
+        assert [f.task_id for f in report.failures] == ["bad"]
+        assert len(report.results) == 3  # the healthy tasks all completed
+        assert any("FAILED: bad" in line for line in report.summary_lines())
+
+    def test_killed_node_work_reassigned_same_seed(self):
+        tasks = fgn_tasks(6, 512)
+        with SimCluster(1) as cluster:
+            baseline = run_distributed(tasks, cluster.endpoints(), lease_s=2.0,
+                                       base_seed=7)
+        script = FaultScript([FaultEvent("n0", "kill", at_task=1, phase="finish")])
+        events = []
+        with SimCluster(3, script=script) as cluster:
+            report = run_distributed(
+                tasks, cluster.endpoints(), lease_s=0.3, base_seed=7,
+                on_event=lambda kind, detail: events.append(kind),
+            )
+        assert [e.kind for e in script.fired] == ["kill"]
+        assert report.ok
+        assert report.node_states["n0"] == "dead"
+        assert sum(r.reassignments for r in report.records) == 1
+        assert "node_lost" in events and "reassign" in events
+        # The rerun kept the attempt number, so results are bit-identical.
+        for task in tasks:
+            np.testing.assert_array_equal(
+                baseline.results[task.task_id], report.results[task.task_id]
+            )
+        assert all(f"t{r.attempts}" and r.attempts == 1 for r in report.records)
+
+    def test_stalled_worker_caught_by_task_timeout(self):
+        # A stall heartbeats forever without delivering; only the hard
+        # per-attempt cap can catch it.
+        script = FaultScript([
+            FaultEvent("n0", "stall", at_task=1, phase="finish", duration_s=60.0)
+        ])
+        tasks = _sleep_tasks(3)
+        with SimCluster(2, script=script) as cluster:
+            report = run_distributed(tasks, cluster.endpoints(), lease_s=0.2,
+                                     task_timeout_s=0.6)
+        assert report.ok
+        assert report.node_states["n0"] == "dead"
+        assert report.node_states["n1"] == "alive"
+
+    def test_all_nodes_dead_without_fallback_raises(self):
+        script = FaultScript([FaultEvent("n0", "kill", at_task=1)])
+        with SimCluster(1, script=script) as cluster:
+            with pytest.raises(DistError, match="worker node"):
+                run_distributed(_sleep_tasks(4), cluster.endpoints(),
+                                lease_s=0.2, fallback_local=False)
+
+    def test_all_nodes_dead_degrades_to_local(self):
+        tasks = fgn_tasks(4, 256)
+        with SimCluster(1) as cluster:
+            baseline = run_distributed(tasks, cluster.endpoints(), lease_s=2.0,
+                                       base_seed=5)
+        script = FaultScript([FaultEvent("n0", "kill", at_task=1)])
+        with SimCluster(1, script=script) as cluster:
+            report = run_distributed(tasks, cluster.endpoints(), lease_s=0.2,
+                                     base_seed=5)
+        assert report.ok and report.degraded_to_local
+        for task in tasks:
+            np.testing.assert_array_equal(
+                baseline.results[task.task_id], report.results[task.task_id]
+            )
+        assert any("degraded to local" in line for line in report.summary_lines())
+
+    def test_checkpoint_resume_skips_verified_tasks(self, tmp_path):
+        tasks = fgn_tasks(5, 256)
+        ckpt = tmp_path / "ckpt"
+        with SimCluster(2) as cluster:
+            run_distributed(tasks[:3], cluster.endpoints(), lease_s=2.0,
+                            base_seed=5, checkpoint_dir=ckpt, manifest={"v": 1})
+        with SimCluster(2) as cluster:
+            report = run_distributed(tasks, cluster.endpoints(), lease_s=2.0,
+                                     base_seed=5, checkpoint_dir=ckpt,
+                                     manifest={"v": 1})
+        assert report.ok
+        assert sorted(report.resumed) == ["fgn000", "fgn001", "fgn002"]
+        statuses = {r.task_id: r.status for r in report.records}
+        assert statuses["fgn000"] == "resumed" and statuses["fgn004"] == "completed"
+
+    def test_resume_refuses_drifted_manifest(self, tmp_path):
+        ckpt = tmp_path / "ckpt"
+        with SimCluster(1) as cluster:
+            run_distributed(_sleep_tasks(2), cluster.endpoints(), lease_s=2.0,
+                            checkpoint_dir=ckpt, manifest={"v": 1})
+        with SimCluster(1) as cluster:
+            with pytest.raises(ValueError, match="different campaign"):
+                run_distributed(_sleep_tasks(2), cluster.endpoints(),
+                                lease_s=2.0, checkpoint_dir=ckpt,
+                                manifest={"v": 2})
+
+    def test_artifact_refs_resolved_through_shared_store(self, tmp_path):
+        from repro.par.cache import using
+
+        tasks = fgn_tasks(4, 512)
+        with SimCluster(1) as cluster:
+            baseline = run_distributed(tasks, cluster.endpoints(), lease_s=2.0,
+                                       base_seed=7)
+        with using(tmp_path / "store"):
+            with SimCluster(2) as cluster:
+                report = run_distributed(tasks, cluster.endpoints(), lease_s=2.0,
+                                         base_seed=7)
+        assert report.ok
+        for task in tasks:
+            # Refs crossed the wire; resolved payloads are the raw arrays.
+            np.testing.assert_array_equal(
+                baseline.results[task.task_id], report.results[task.task_id]
+            )
+
+    def test_lease_must_be_positive(self):
+        with pytest.raises(ValueError, match="lease_s"):
+            run_distributed(_sleep_tasks(1), {}, lease_s=0.0)
+
+
+class TestFaultScript:
+    def test_random_is_seed_deterministic(self):
+        nodes = [f"n{i}" for i in range(5)]
+        a = FaultScript.random(3, nodes, n_events=3)
+        b = FaultScript.random(3, nodes, n_events=3)
+        assert [(e.node, e.kind, e.at_task, e.phase) for e in a.events] == [
+            (e.node, e.kind, e.at_task, e.phase) for e in b.events
+        ]
+        c = FaultScript.random(4, nodes, n_events=3)
+        assert [(e.node, e.kind) for e in a.events] != [
+            (e.node, e.kind) for e in c.events
+        ] or [e.at_task for e in a.events] != [e.at_task for e in c.events]
+
+    def test_random_spares_survivors(self):
+        nodes = [f"n{i}" for i in range(4)]
+        for seed in range(8):
+            script = FaultScript.random(seed, nodes, n_events=10, spare=2)
+            assert len({e.node for e in script.events}) <= 2
+
+    def test_single_node_cluster_can_be_fully_faulted(self):
+        script = FaultScript.random(0, ["n0"], n_events=1)
+        assert len(script.events) == 1
+
+    def test_event_validation(self):
+        with pytest.raises(ValueError, match="kind"):
+            FaultEvent("n0", "meteor")
+        with pytest.raises(ValueError, match="phase"):
+            FaultEvent("n0", "kill", phase="middle")
+        with pytest.raises(ValueError, match="1-based"):
+            FaultEvent("n0", "kill", at_task=0)
+
+
+class TestCampaign:
+    def test_parse_nodes(self):
+        assert parse_nodes("sim:3") == ("sim", 3)
+        assert parse_nodes("sim") == ("sim", 2)
+        assert parse_nodes("a:1,b:2") == ("addresses", ["a:1", "b:2"])
+        assert parse_nodes(["unix:/tmp/x"]) == ("addresses", ["unix:/tmp/x"])
+        for bad in ("", "sim:0", "sim:x", ",", "host:"):
+            with pytest.raises(ValueError):
+                parse_nodes(bad)
+
+    def test_fgn_tasks_shape(self):
+        tasks = fgn_tasks(3, 1024, hurst=0.75, backend="paxson")
+        assert [t.task_id for t in tasks] == ["fgn000", "fgn001", "fgn002"]
+        assert all(t.kind == "fgn" and t.params["hurst"] == 0.75 for t in tasks)
+        with pytest.raises(ValueError, match="at least one"):
+            fgn_tasks(0, 8)
+
+    def test_experiment_tasks_validates_only(self):
+        from repro.dist.campaign import experiment_tasks
+
+        tasks = experiment_tasks(quick=True, only="fig11", trace_frames=2_000)
+        assert [t.task_id for t in tasks] == ["fig11"]
+        assert tasks[0].params["trace_frames"] == 2_000
+        with pytest.raises(ValueError, match="unknown experiment"):
+            experiment_tasks(quick=True, only="fig99", trace_frames=2_000)
+
+    def test_run_all_nodes_rejects_custom_trace(self):
+        from repro.experiments.runner import run_all
+        from repro.video.starwars import synthesize_starwars_trace
+
+        trace = synthesize_starwars_trace(n_frames=500, seed=0, with_slices=False)
+        with pytest.raises(ValueError, match="reference"):
+            run_all(trace=trace, nodes="sim:2")
+        with pytest.raises(ValueError, match="local supervisor"):
+            run_all(nodes="sim:2", timeout_s=5.0)
+
+
+class TestCli:
+    def test_doctor_nodes_unreachable_exits_2(self, tmp_path, capsys):
+        from repro.cli import main
+
+        status = main(["doctor", "--nodes", f"unix:{tmp_path / 'no.sock'}",
+                       "--probe-timeout-s", "0.5"])
+        assert status == 2
+        assert "UNREACHABLE" in capsys.readouterr().err
+
+    def test_doctor_nodes_reachable_exits_0(self, tmp_path, capsys):
+        from repro.cli import main
+        from repro.dist.worker import serve
+
+        address = f"unix:{tmp_path / 'w.sock'}"
+        ready = threading.Event()
+        thread = threading.Thread(
+            target=lambda: serve(address, name="w-doc", once=True,
+                                 ready=lambda bound: ready.set()),
+            daemon=True,
+        )
+        thread.start()
+        assert ready.wait(5.0)
+        status = main(["doctor", "--nodes", address])
+        thread.join(5.0)
+        out = capsys.readouterr().out
+        assert status == 0
+        assert "cluster ok" in out and "w-doc" in out
+
+    def test_doctor_rejects_sim_nodes(self, capsys):
+        from repro.cli import main
+
+        assert main(["doctor", "--nodes", "sim:3"]) == 2
+        assert "simulated" in capsys.readouterr().err
+
+    def test_doctor_without_trace_or_nodes_exits_2(self, capsys):
+        from repro.cli import main
+
+        assert main(["doctor"]) == 2
+        assert "trace file and/or --nodes" in capsys.readouterr().err
+
+    def test_dist_serve_bad_address_exits_2(self, capsys):
+        from repro.cli import main
+
+        assert main(["dist", "serve", "not-an-address"]) == 2
+        assert "error:" in capsys.readouterr().err

@@ -107,3 +107,11 @@ class TestExamples:
         assert "resumed from digest-verified checkpoints" in out
         assert "23/23 experiments completed" in out
         assert "matches the injected fault plan exactly" in out
+
+    def test_distributed_campaign(self):
+        out = run_example("distributed_campaign.py", "--tasks", "6")
+        assert "node n1 killed mid-campaign" in out
+        assert "reassigned to survivors" in out
+        assert "degraded to local serial execution" in out
+        assert "loaded from digest-verified checkpoints" in out
+        assert "All fault scenarios produced bit-identical results." in out

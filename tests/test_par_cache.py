@@ -4,10 +4,16 @@ The key contract (:func:`canonical_params` / :func:`cache_key`) is the
 safety boundary — a collision would silently serve one parameterization
 another's eigenvalues.  The tier-1 tests pin its edge cases; the seeded
 fuzz class (tier 2) hammers it with randomized parameter dicts and H
-values near the self-similar boundaries.
+values near the self-similar boundaries.  The concurrency class
+hammers the atomic tmp+rename write contract with racing *processes* —
+the cache is now also the shared artifact store for distributed
+campaigns (:mod:`repro.dist`), where cross-process races are the
+normal case, not the exception.
 """
 
 import json
+import multiprocessing
+import os
 
 import numpy as np
 import pytest
@@ -194,6 +200,93 @@ class TestContentCache:
         cache.put("other", {"n": 2}, np.arange(2.0))
         algorithms = sorted(algorithm for algorithm, _ in cache.entries())
         assert algorithms == ["alg", "other"]
+
+
+def _race_payload(variant):
+    """Deterministic payload for writer ``variant`` (whole-array marker)."""
+    return np.full(256, float(variant))
+
+
+def _hammer_same_key(root, variant, iterations):
+    """Writer+reader loop: put our variant, check every hit is intact.
+
+    Exit code 0 = every observed hit was byte-exact one of the known
+    variants; nonzero = a torn/blended payload was served.
+    """
+    cache = ContentCache(root)
+    params = {"n": 256, "role": "race"}
+    expected = {0: _race_payload(0).tobytes(), 1: _race_payload(1).tobytes()}
+    for _ in range(iterations):
+        cache.put("race", params, _race_payload(variant))
+        hit = cache.get("race", params)
+        if hit is None:
+            continue  # a concurrent evict/replace window: miss is legal
+        if hit.tobytes() not in expected.values():
+            os._exit(17)  # torn payload served
+    os._exit(0)
+
+
+def _corrupt_loop(root, iterations):
+    """Poison the entry's payload file in place, as fast as possible."""
+    cache = ContentCache(root)
+    payload_path, _ = cache.entry_paths("race", {"n": 256, "role": "race"})
+    for _ in range(iterations):
+        try:
+            with open(payload_path, "r+b") as handle:
+                handle.seek(64)
+                handle.write(b"\xff" * 32)
+        except OSError:
+            pass  # not there right now (evicted or mid-replace)
+    os._exit(0)
+
+
+class TestConcurrentWriters:
+    """Cross-process races on one key: the shared-artifact-store case."""
+
+    def _run(self, targets):
+        ctx = multiprocessing.get_context("fork")
+        procs = [ctx.Process(target=fn, args=args) for fn, args in targets]
+        for proc in procs:
+            proc.start()
+        for proc in procs:
+            proc.join(60)
+        assert all(proc.exitcode is not None for proc in procs), "worker hung"
+        return [proc.exitcode for proc in procs]
+
+    def test_racing_writers_never_serve_torn_payload(self, tmp_path):
+        """Two processes hammering the same key with different (valid)
+        payloads: every hit must be byte-exact one writer's array,
+        never a blend of both — the atomic tmp+``os.replace`` contract.
+        A miss during the replace window is legal; torn data is not."""
+        codes = self._run([
+            (_hammer_same_key, (tmp_path, 0, 80)),
+            (_hammer_same_key, (tmp_path, 1, 80)),
+        ])
+        assert codes == [0, 0], f"torn payload observed (exit codes {codes})"
+        # Whatever won the race, the surviving entry round-trips intact.
+        cache = ContentCache(tmp_path)
+        final = cache.get("race", {"n": 256, "role": "race"})
+        if final is not None:
+            assert final.tobytes() in (
+                _race_payload(0).tobytes(), _race_payload(1).tobytes()
+            )
+
+    def test_eviction_under_contention(self, tmp_path):
+        """A corruptor poisoning the payload file while a writer keeps
+        rewriting it: poisoned reads must surface as misses (digest
+        re-verify -> evict), never as data, and the eviction/unlink
+        races must not crash either side."""
+        cache = ContentCache(tmp_path)
+        params = {"n": 256, "role": "race"}
+        cache.put("race", params, _race_payload(0))
+        codes = self._run([
+            (_hammer_same_key, (tmp_path, 0, 60)),
+            (_corrupt_loop, (tmp_path, 200)),
+        ])
+        assert codes == [0, 0], f"contention crash or torn read (exit codes {codes})"
+        # The store self-heals: after the dust settles a fresh put serves.
+        cache.put("race", params, _race_payload(1))
+        np.testing.assert_array_equal(cache.get("race", params), _race_payload(1))
 
 
 class TestActiveCache:
