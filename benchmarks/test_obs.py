@@ -157,3 +157,83 @@ class TestStreamingOverhead:
             f"enabled obs cost {enabled_overhead:.2%} "
             f"({bare:.3f}s -> {enabled:.3f}s)"
         )
+
+
+class TestFlightRecorderCost:
+    def test_flight_append_cost(self):
+        """One record() into the ring (no stream) must stay far below
+        any dist-protocol action it annotates."""
+        from repro.obs.flight import FlightRecorder
+
+        rec = FlightRecorder(capacity=512)
+        n = 100_000
+        start = time.perf_counter()
+        for i in range(n):
+            rec.record("bench", task_id="t0", node="n0", attempt=0, seed=i)
+        per_call_ns = (time.perf_counter() - start) / n * 1e9
+        assert len(rec.events()) == 512
+        _ENTRIES.append({
+            "name": "flight_append_ns_per_event",
+            "value": round(per_call_ns, 1),
+            "unit": "ns/event",
+            "higher_is_better": False,
+            "budget": 50_000,
+        })
+        assert per_call_ns < 50_000
+
+
+class TestScrapeOverhead:
+    def test_coordinator_scrape_overhead_pct(self):
+        """ISSUE 9 acceptance: piggybacked heartbeat metric scraping
+        (worker dumps + ScrapeMerger at the coordinator) costs < 2% of
+        the coordinator's wall on the BENCH_dist sleep-task grid."""
+        from repro.dist import SimCluster, TaskSpec, run_distributed
+
+        # The BENCH_dist grid shape (24 cells at 50ms): long enough
+        # that per-campaign fixed costs amortize and the percentage
+        # reflects the per-heartbeat/per-result scrape machinery.
+        cells, cell_s, nodes = 24, 0.05, 4
+        tasks = [
+            TaskSpec(f"c{i}", "sleep", {"duration_s": cell_s, "value": i})
+            for i in range(cells)
+        ]
+
+        def _wall(scraping):
+            if scraping:
+                ctx = obs.enabled()
+            else:
+                import contextlib
+
+                obs.disable()
+                ctx = contextlib.nullcontext()
+            with ctx:
+                with SimCluster(nodes) as cluster:
+                    start = time.perf_counter()
+                    report = run_distributed(
+                        tasks, cluster.endpoints(), lease_s=1.0,
+                    )
+                    elapsed = time.perf_counter() - start
+            assert report.ok
+            return elapsed
+
+        _wall(False)  # warm-up
+        off = on = float("inf")
+        for _ in range(5):
+            off = min(off, _wall(False))
+            on = min(on, _wall(True))
+        trace.reset()
+        metrics.registry().reset()
+        overhead = on / off - 1.0
+        _ENTRIES.append({
+            "name": "dist_scrape_overhead_pct",
+            "value": max(0.0, round(overhead * 100.0, 2)),
+            "unit": "percent",
+            "higher_is_better": False,
+            "budget": 2.0,
+            "context": {"cells": cells, "cell_s": cell_s, "nodes": nodes,
+                        "off_seconds": round(off, 4),
+                        "on_seconds": round(on, 4)},
+        })
+        assert overhead < 0.02, (
+            f"heartbeat scraping cost {overhead:.2%} ({off:.3f}s -> {on:.3f}s)"
+        )

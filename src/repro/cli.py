@@ -181,6 +181,11 @@ def build_parser():
     p_exp.add_argument("--authkey", default=None,
                        help="with --nodes: shared secret for the socket "
                             "transport (or $REPRO_DIST_AUTHKEY)")
+    p_exp.add_argument("--flight", default=None, metavar="PATH",
+                       help="with --nodes: stream a flight recording of the "
+                            "campaign here (live-tailable with "
+                            '"repro dist top PATH --follow"; persisted '
+                            "atomically on exit, crash, or SIGTERM)")
 
     p_obs = sub.add_parser("obs", help="inspect run manifests, metrics and benchmarks")
     obs_sub = p_obs.add_subparsers(dest="obs_command", required=True)
@@ -258,6 +263,18 @@ def build_parser():
     p_dist_srv.add_argument("--once", action="store_true",
                             help="serve a single coordinator connection, "
                                  "then exit (for tests)")
+    p_dist_top = dist_sub.add_parser(
+        "top", help="live console over a campaign's flight recording"
+    )
+    p_dist_top.add_argument("flight", metavar="FLIGHT_JSONL",
+                            help="flight.jsonl streamed by a coordinator "
+                                 "started with --flight")
+    p_dist_top.add_argument("--follow", action="store_true",
+                            help="tail the file live (curses on a terminal, "
+                                 "plain text otherwise) until the campaign ends")
+    p_dist_top.add_argument("--interval", type=float, default=1.0,
+                            help="refresh interval in seconds for --follow "
+                                 "(default 1.0)")
 
     p_rep = sub.add_parser("report", help="full Section-3 analysis report")
     p_rep.add_argument("trace", nargs="?", help="trace file (omit with --synthetic)")
@@ -558,6 +575,7 @@ def _cmd_experiments(args):
                 checkpoint_dir=args.checkpoint_dir,
                 resume=args.resume,
                 authkey=_dist_authkey(args),
+                flight_path=args.flight,
             )
             results = campaign.results
         elif not supervised:
@@ -754,6 +772,20 @@ def _cmd_doctor(args):
 
 
 def _cmd_dist(args):
+    if args.dist_command == "top":
+        from pathlib import Path
+
+        from repro.dist.top import run_top
+
+        if not args.follow and not Path(args.flight).exists():
+            print(f"error: no flight recording at {args.flight}", file=sys.stderr)
+            return 2
+        try:
+            run_top(args.flight, follow=args.follow, interval=args.interval)
+        except KeyboardInterrupt:
+            pass
+        return 0
+
     from repro.dist.worker import serve
 
     try:

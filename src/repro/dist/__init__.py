@@ -23,7 +23,9 @@ Layers (each importable on its own):
   :class:`FaultScript` chaos, the harness behind the chaos wall and
   the scheduler benchmarks;
 - :mod:`repro.dist.campaign` -- experiment-suite and fGn task lists,
-  ``"sim:3"`` / ``"host:port,..."`` node specs, :func:`run_suite`.
+  ``"sim:3"`` / ``"host:port,..."`` node specs, :func:`run_suite`;
+- :mod:`repro.dist.top` -- ``repro dist top``, the live console over
+  the campaign's streamed flight recording.
 
 See ``docs/distributed.md`` for the protocol walk-through and tuning
 guidance.
@@ -48,6 +50,7 @@ from repro.dist.protocol import (
     task_seed,
 )
 from repro.dist.simcluster import FaultEvent, FaultScript, SimCluster
+from repro.dist.top import TopView, run_top
 from repro.dist.transport import ChannelClosed, connect, listen, probe
 from repro.dist.worker import WorkerLoop, serve
 
@@ -63,6 +66,7 @@ __all__ = [
     "TaskFailure",
     "TaskRecord",
     "TaskSpec",
+    "TopView",
     "WorkerLoop",
     "connect",
     "execute_task",
@@ -77,6 +81,7 @@ __all__ = [
     "resolve_payload",
     "run_distributed",
     "run_suite",
+    "run_top",
     "serve",
     "task_seed",
 ]

@@ -162,7 +162,7 @@ def run_suite(nodes, *, quick=False, sim_frames=None, only=None,
               trace_frames=None, base_seed=0, max_retries=1, lease_s=10.0,
               task_timeout_s=None, checkpoint_dir=None, resume=True,
               authkey=None, script=None, latency_s=0.0, fallback_local=True,
-              on_event=None):
+              on_event=None, flight_path=None):
     """Run the experiment suite across ``nodes``; returns a ``DistReport``.
 
     The convenience entry point behind
@@ -190,4 +190,5 @@ def run_suite(nodes, *, quick=False, sim_frames=None, only=None,
             resume=resume,
             manifest=suite_manifest(quick, sim_frames, trace_frames),
             fallback_local=fallback_local, on_event=on_event,
+            flight_path=flight_path,
         )

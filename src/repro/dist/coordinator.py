@@ -46,6 +46,7 @@ import time
 
 from repro.dist import protocol
 from repro.dist.transport import ChannelClosed
+from repro.obs import flight as obs_flight
 from repro.obs import log as obs_log
 from repro.obs import metrics, trace
 from repro.resilience.runner import TRANSIENT_TYPES, CheckpointStore
@@ -214,7 +215,7 @@ def run_distributed(tasks, endpoints, *, base_seed=0, max_retries=1,
                     resume=True, manifest=None, fallback_local=True,
                     transient_types=TRANSIENT_TYPES, backoff_base=0.05,
                     backoff_cap=5.0, poll_s=0.002, clock=time.monotonic,
-                    sleep=time.sleep, on_event=None):
+                    sleep=time.sleep, on_event=None, flight_path=None):
     """Drive ``tasks`` over ``endpoints`` (``{node_name: Channel}``).
 
     Returns a :class:`DistReport`; results, records, failures and
@@ -226,12 +227,25 @@ def run_distributed(tasks, endpoints, *, base_seed=0, max_retries=1,
     ``on_event(kind, detail)`` observes the campaign live (kinds:
     ``assign``, ``resumed``, ``completed``, ``retry``, ``reassign``,
     ``node_lost``, ``duplicate``, ``failed``, ``local_fallback``).
+
+    ``flight_path`` installs an always-on streaming flight recorder at
+    that path (see :mod:`repro.obs.flight`): events stream live for
+    ``repro dist top --follow`` and the final ring is persisted
+    atomically when the campaign ends -- by success, failure, or crash.
+    Without it, events still land in the gated default recorder while
+    observability is enabled.
     """
     tasks = _normalize_tasks(tasks)
     lease_s = float(lease_s)
     if lease_s <= 0.0:
         raise ValueError(f"lease_s must be positive, got {lease_s}")
     attempts_allowed = int(max_retries) + 1
+
+    if flight_path is not None:
+        flight = obs_flight.configure(path=flight_path)
+        flight.arm()
+    else:
+        flight = obs_flight.recorder()
 
     store = None
     if checkpoint_dir is not None:
@@ -257,6 +271,50 @@ def run_distributed(tasks, endpoints, *, base_seed=0, max_retries=1,
     completed = {}
     resumed = set()
 
+    # One campaign span owns the whole run: worker attempt subtrees are
+    # adopted under per-task wrapper dicts, so run.json renders the
+    # cluster as a single forest.  The trace id is a pure function of
+    # the campaign seed -- a rerun stitches under the same id.
+    campaign_span = trace.span("dist.campaign", tasks=len(tasks),
+                               nodes=len(nodes))
+    trace_id = trace.new_trace_id(base_seed)
+    trace_ctx = {"trace_id": trace_id}
+    if isinstance(campaign_span, trace.Span):
+        campaign_span.trace_id = trace_id
+        trace_ctx["parent_span_id"] = campaign_span.span_id
+
+    # Heartbeat-piggybacked metric scrapes merge into the coordinator's
+    # registry as node=-labeled series; (node, seq) idempotency keeps
+    # duplicated/reordered heartbeats from double-counting.
+    scrapes = metrics.ScrapeMerger()
+
+    flight.record("campaign_start", tasks=len(tasks), nodes=len(nodes),
+                  base_seed=base_seed, trace_id=trace_id)
+
+    def _adopt_attempt(task_id, node_name, attempt, wall, shipped=None,
+                       error=None):
+        """Stitch one attempt into the campaign forest as a dist.task dict."""
+        if not isinstance(campaign_span, trace.Span):
+            return
+        doc = {
+            "name": "dist.task",
+            "wall_s": round(wall, 6) if wall is not None else None,
+            "cpu_s": None,
+            "attrs": {"task": task_id, "node": node_name,
+                      "attempt": int(attempt),
+                      "seed": protocol.task_seed(base_seed, task_id, attempt)},
+        }
+        if error is not None:
+            doc["error"] = str(error)
+        if shipped:
+            doc["children"] = [dict(tree) for tree in shipped]
+        campaign_span.adopt(doc)
+
+    def _ingest_scrape(node_name, message):
+        dump = message.get("metrics")
+        if dump:
+            scrapes.ingest(node_name, message.get("seq", 0), dump)
+
     # ------------------------------------------------------------------
     # Resume from checkpoints before anything is scheduled
     # ------------------------------------------------------------------
@@ -273,6 +331,8 @@ def run_distributed(tasks, endpoints, *, base_seed=0, max_retries=1,
             completed[task.task_id] = payload
             resumed.add(task.task_id)
             _TASKS["resumed"].inc()
+            flight.record("task_resumed", task_id=task.task_id,
+                          attempts=state.attempts_used)
             _notify("resumed", task.task_id)
 
     pending = [t.task_id for t in tasks if not states[t.task_id].done]
@@ -316,6 +376,11 @@ def run_distributed(tasks, endpoints, *, base_seed=0, max_retries=1,
             store.save(task_id, payload, seed, state.attempts_used, state.wall_time)
         _TASKS["completed"].inc()
         _node_tasks_counter(node_name).inc()
+        flight.record(
+            "task_completed", task_id=task_id, node=node_name,
+            attempt=state.attempt,
+            seed=protocol.task_seed(base_seed, task_id, state.attempt),
+        )
         _notify("completed", task_id)
 
     def _retry_or_fail(task_id, node_name, error, wall):
@@ -337,6 +402,9 @@ def run_distributed(tasks, endpoints, *, base_seed=0, max_retries=1,
             )
             state.node = None
             pending.insert(0, task_id)
+            flight.record("task_retry", task_id=task_id, node=node_name,
+                          attempt=state.attempt,
+                          error_type=failure.error_type)
             _notify("retry", task_id)
         else:
             state.done = True
@@ -351,6 +419,9 @@ def run_distributed(tasks, endpoints, *, base_seed=0, max_retries=1,
                 extra={"task": task_id, "attempt": state.attempt + 1,
                        "error_type": failure.error_type},
             )
+            flight.record("task_failed", task_id=task_id, node=node_name,
+                          attempt=state.attempt, seed=seed,
+                          error_type=failure.error_type)
             _notify("failed", task_id)
 
     def _lose_node(node, reason):
@@ -362,6 +433,7 @@ def run_distributed(tasks, endpoints, *, base_seed=0, max_retries=1,
             "node %s lost (%s)", node.name, reason,
             extra={"node": node.name, "reason": reason},
         )
+        flight.record("node_lost", node=node.name, reason=reason)
         _notify("node_lost", f"{node.name}: {reason}")
         task_id = node.current
         node.current = None
@@ -372,10 +444,16 @@ def run_distributed(tasks, endpoints, *, base_seed=0, max_retries=1,
             return
         # Same attempt on a surviving node: the task never completed, so
         # the rerun draws the identical seed and result.
+        # The killed attempt still joins the span forest: an error-marked
+        # dist.task stamped with the lost node and the attempt seed.
+        _adopt_attempt(task_id, node.name, state.attempt,
+                       clock() - state.started_at, error="NodeLost")
         state.node = None
         state.reassignments += 1
         _TASKS["reassigned"].inc()
         pending.insert(0, task_id)
+        flight.record("task_reassigned", task_id=task_id, node=node.name,
+                      attempt=state.attempt)
         _notify("reassign", task_id)
 
     def _handle_message(node, message):
@@ -385,6 +463,7 @@ def run_distributed(tasks, endpoints, *, base_seed=0, max_retries=1,
                 _lose_node(node, f"protocol version {message.get('version')!r}")
             return
         if kind == "heartbeat":
+            _ingest_scrape(node.name, message)
             task_id = message.get("task_id")
             state = states.get(task_id)
             if state is not None and not state.done and state.node == node.name:
@@ -392,6 +471,7 @@ def run_distributed(tasks, endpoints, *, base_seed=0, max_retries=1,
             return
         if kind != "result":
             return
+        _ingest_scrape(node.name, message)
         task_id = message.get("task_id")
         state = states.get(task_id)
         wall = float(message.get("wall_time", 0.0))
@@ -402,6 +482,8 @@ def run_distributed(tasks, endpoints, *, base_seed=0, max_retries=1,
         if state.done:
             report.duplicates += 1
             _TASKS["duplicate"].inc()
+            flight.record("duplicate_result", task_id=task_id, node=node.name,
+                          attempt=message.get("attempt"))
             _notify("duplicate", task_id)
             return
         if message.get("ok"):
@@ -409,12 +491,17 @@ def run_distributed(tasks, endpoints, *, base_seed=0, max_retries=1,
             # first -- even one presumed dead behind a healed partition.
             if task_id in pending:
                 pending.remove(task_id)
+            _adopt_attempt(task_id, node.name, message.get("attempt", 0), wall,
+                           shipped=message.get("spans"))
             _complete(task_id, message.get("payload"), node.name, wall)
         else:
             # Errors are only honored from the current assignee at the
             # current attempt; anything else is a stale report.
             if state.node != node.name or message.get("attempt") != state.attempt:
                 return
+            _adopt_attempt(task_id, node.name, state.attempt, wall,
+                           shipped=message.get("spans"),
+                           error=message["error"].get("error_type"))
             state.node = None
             _retry_or_fail(task_id, node.name, message["error"], wall)
 
@@ -433,8 +520,12 @@ def run_distributed(tasks, endpoints, *, base_seed=0, max_retries=1,
             state = states[chosen]
             seed = protocol.task_seed(base_seed, chosen, state.attempt)
             try:
+                # Trace context rides the assignment (not task identity:
+                # the field is compare-excluded), so the worker's attempt
+                # span lands under this campaign's trace id.
                 node.channel.send(protocol.make_task_message(
-                    state.spec, seed, state.attempt, lease_s
+                    dataclasses.replace(state.spec, trace=trace_ctx),
+                    seed, state.attempt, lease_s
                 ))
             except ChannelClosed as exc:
                 _lose_node(node, f"send failed: {exc}")
@@ -444,6 +535,8 @@ def run_distributed(tasks, endpoints, *, base_seed=0, max_retries=1,
             state.node = node.name
             state.deadline = now + lease_s
             state.started_at = now
+            flight.record("task_assigned", task_id=chosen, node=node.name,
+                          attempt=state.attempt, seed=seed)
             _notify("assign", f"{chosen} -> {node.name}")
 
     def _drain():
@@ -476,6 +569,8 @@ def run_distributed(tasks, endpoints, *, base_seed=0, max_retries=1,
             state = states[task_id]
             if now > state.deadline:
                 _LEASE_EXPIRIES.inc()
+                flight.record("lease_expired", node=node.name, task_id=task_id,
+                              attempt=state.attempt)
                 _lose_node(node, f"lease on {task_id} expired")
             elif task_timeout_s is not None and now - state.started_at > task_timeout_s:
                 _lose_node(node, f"{task_id} exceeded task timeout {task_timeout_s:g}s")
@@ -489,6 +584,7 @@ def run_distributed(tasks, endpoints, *, base_seed=0, max_retries=1,
             len(nodes), len(remaining),
             extra={"nodes": len(nodes), "remaining": len(remaining)},
         )
+        flight.record("local_fallback", remaining=len(remaining))
         _notify("local_fallback", f"{len(remaining)} task(s)")
         for task_id in remaining:
             state = states[task_id]
@@ -532,55 +628,73 @@ def run_distributed(tasks, endpoints, *, base_seed=0, max_retries=1,
                 if store is not None:
                     store.save(task_id, payload, seed, state.attempts_used,
                                state.wall_time)
+                flight.record("task_completed", task_id=task_id, node="local",
+                              attempt=state.attempt, seed=seed)
                 _notify("completed", task_id)
 
     # ------------------------------------------------------------------
     # Main loop
     # ------------------------------------------------------------------
-    with trace.span("dist.campaign", tasks=len(tasks), nodes=len(nodes)):
-        _update_node_gauges()
-        while any(not state.done for state in states.values()):
-            if not _alive():
-                remaining = [
-                    t.task_id for t in tasks if not states[t.task_id].done
-                ]
-                if not fallback_local:
-                    raise DistError(
-                        f"all {len(nodes)} worker node(s) lost with "
-                        f"{len(remaining)} task(s) outstanding"
-                    )
-                _run_local(remaining)
-                break
-            _dispatch()
-            progressed = _drain()
-            _check_deadlines()
-            if not progressed:
-                sleep(poll_s)
+    finished = False
+    try:
+        with campaign_span:
+            _update_node_gauges()
+            while any(not state.done for state in states.values()):
+                if not _alive():
+                    remaining = [
+                        t.task_id for t in tasks if not states[t.task_id].done
+                    ]
+                    if not fallback_local:
+                        raise DistError(
+                            f"all {len(nodes)} worker node(s) lost with "
+                            f"{len(remaining)} task(s) outstanding"
+                        )
+                    _run_local(remaining)
+                    break
+                _dispatch()
+                progressed = _drain()
+                _check_deadlines()
+                if not progressed:
+                    sleep(poll_s)
 
-    # ------------------------------------------------------------------
-    # Assemble the report in task order
-    # ------------------------------------------------------------------
-    for task in tasks:
-        state = states[task.task_id]
-        if task.task_id in resumed:
-            status = "resumed"
-            report.resumed.append(task.task_id)
-        elif task.task_id in completed:
-            status = "completed"
-        else:
-            status = "failed"
-        if task.task_id in completed:
-            report.results[task.task_id] = completed[task.task_id]
-        report.records.append(TaskRecord(
-            task_id=task.task_id, status=status, attempts=state.attempts_used,
-            node=state.node, wall_time=state.wall_time,
-            reassignments=state.reassignments,
-        ))
-    report.node_states = {name: node.state for name, node in nodes.items()}
-    _LOGGER.info(
-        "dist campaign finished: %d/%d tasks, %d failure(s), %d node(s) lost",
-        len(report.results), len(tasks), len(report.failures),
-        sum(1 for s in report.node_states.values() if s == "dead"),
-        extra={"tasks": len(tasks), "failures": len(report.failures)},
-    )
-    return report
+        # --------------------------------------------------------------
+        # Assemble the report in task order
+        # --------------------------------------------------------------
+        for task in tasks:
+            state = states[task.task_id]
+            if task.task_id in resumed:
+                status = "resumed"
+                report.resumed.append(task.task_id)
+            elif task.task_id in completed:
+                status = "completed"
+            else:
+                status = "failed"
+            if task.task_id in completed:
+                report.results[task.task_id] = completed[task.task_id]
+            report.records.append(TaskRecord(
+                task_id=task.task_id, status=status, attempts=state.attempts_used,
+                node=state.node, wall_time=state.wall_time,
+                reassignments=state.reassignments,
+            ))
+        report.node_states = {name: node.state for name, node in nodes.items()}
+        _LOGGER.info(
+            "dist campaign finished: %d/%d tasks, %d failure(s), %d node(s) lost",
+            len(report.results), len(tasks), len(report.failures),
+            sum(1 for s in report.node_states.values() if s == "dead"),
+            extra={"tasks": len(tasks), "failures": len(report.failures)},
+        )
+        flight.record("campaign_finished", completed=len(report.results),
+                      tasks=len(tasks), failures=len(report.failures),
+                      duplicates=report.duplicates,
+                      degraded_to_local=report.degraded_to_local)
+        finished = True
+        return report
+    finally:
+        # The recording must survive every exit: success, DistError, a
+        # coordinator crash unwinding through here, or SIGTERM (armed
+        # handler).  persist() is a no-op without a path.
+        if not finished:
+            flight.record("campaign_aborted", tasks=len(tasks))
+        flight.persist()
+        if flight_path is not None:
+            flight.disarm()

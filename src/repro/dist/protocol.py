@@ -70,24 +70,39 @@ class ArtifactMiss(RuntimeError):
 
 @dataclasses.dataclass(frozen=True)
 class TaskSpec:
-    """One unit of distributable work: a stable id, a kind, parameters."""
+    """One unit of distributable work: a stable id, a kind, parameters.
+
+    ``trace`` optionally carries the coordinator's trace context --
+    ``{"trace_id": ..., "parent_span_id": ...}`` -- so the worker's
+    attempt spans open under the campaign span and the shipped subtree
+    stitches back into one cluster-wide ``run.json``.  It is execution
+    metadata, not identity: two specs differing only in trace context
+    are the same task.
+    """
 
     task_id: str
     kind: str
     params: dict = dataclasses.field(default_factory=dict)
+    trace: dict | None = dataclasses.field(default=None, compare=False)
 
     def __post_init__(self):
         if not self.task_id or not isinstance(self.task_id, str):
             raise ValueError(f"task_id must be a non-empty string, got {self.task_id!r}")
         if not isinstance(self.params, dict):
             raise TypeError(f"params must be a dict, got {type(self.params).__name__}")
+        if self.trace is not None and not isinstance(self.trace, dict):
+            raise TypeError(f"trace must be a dict, got {type(self.trace).__name__}")
 
     def to_wire(self):
-        return {"task_id": self.task_id, "kind": self.kind, "params": dict(self.params)}
+        doc = {"task_id": self.task_id, "kind": self.kind, "params": dict(self.params)}
+        if self.trace is not None:
+            doc["trace"] = dict(self.trace)
+        return doc
 
     @classmethod
     def from_wire(cls, doc):
-        return cls(doc["task_id"], doc["kind"], dict(doc.get("params", {})))
+        return cls(doc["task_id"], doc["kind"], dict(doc.get("params", {})),
+                   trace=doc.get("trace"))
 
 
 def task_seed(base_seed, task_id, attempt=0):
@@ -291,21 +306,43 @@ def make_task_message(task, seed, attempt, lease_s):
             "attempt": int(attempt), "lease_s": float(lease_s)}
 
 
-def make_heartbeat(node, task_id, attempt):
-    return {"type": "heartbeat", "node": str(node), "task_id": str(task_id),
-            "attempt": int(attempt)}
+def make_heartbeat(node, task_id, attempt, seq=None, metrics=None):
+    """Lease renewal, optionally piggybacking an incremental metric scrape.
+
+    ``metrics`` is the worker's *cumulative* registry dump and ``seq`` a
+    monotone per-connection scrape number; the coordinator's
+    :class:`repro.obs.metrics.ScrapeMerger` applies each ``(node, seq)``
+    at most once, so duplicated or reordered heartbeats behind a healed
+    partition never double-count.
+    """
+    doc = {"type": "heartbeat", "node": str(node), "task_id": str(task_id),
+           "attempt": int(attempt)}
+    if metrics:
+        doc["seq"] = int(seq if seq is not None else 0)
+        doc["metrics"] = metrics
+    return doc
 
 
-def make_result(node, task_id, attempt, payload, wall_time):
-    return {"type": "result", "node": str(node), "task_id": str(task_id),
-            "attempt": int(attempt), "ok": True, "payload": payload,
-            "wall_time": float(wall_time)}
+def make_result(node, task_id, attempt, payload, wall_time, spans=None,
+                seq=None, metrics=None):
+    """A completed attempt; may carry the worker's span subtree and a
+    final cumulative metric scrape alongside the payload."""
+    doc = {"type": "result", "node": str(node), "task_id": str(task_id),
+           "attempt": int(attempt), "ok": True, "payload": payload,
+           "wall_time": float(wall_time)}
+    if spans:
+        doc["spans"] = list(spans)
+    if metrics:
+        doc["seq"] = int(seq if seq is not None else 0)
+        doc["metrics"] = metrics
+    return doc
 
 
-def make_error(node, task_id, attempt, exc, wall_time, transient):
+def make_error(node, task_id, attempt, exc, wall_time, transient, spans=None,
+               seq=None, metrics=None):
     import traceback as traceback_module
 
-    return {
+    doc = {
         "type": "result", "node": str(node), "task_id": str(task_id),
         "attempt": int(attempt), "ok": False,
         "error": {
@@ -318,3 +355,9 @@ def make_error(node, task_id, attempt, exc, wall_time, transient):
         },
         "wall_time": float(wall_time),
     }
+    if spans:
+        doc["spans"] = list(spans)
+    if metrics:
+        doc["seq"] = int(seq if seq is not None else 0)
+        doc["metrics"] = metrics
+    return doc

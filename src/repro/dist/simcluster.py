@@ -31,6 +31,7 @@ import numpy as np
 
 from repro.dist.transport import sim_pair
 from repro.dist.worker import NodeHang, NodeKilled, NodeStall, WorkerLoop
+from repro.obs import flight as obs_flight
 from repro.obs import log as obs_log
 
 __all__ = ["FaultEvent", "FaultScript", "SimCluster", "SimNode"]
@@ -155,6 +156,10 @@ class SimNode:
             event.kind, self.name, task_index, phase,
             extra={"node": self.name, "kind": event.kind,
                    "task_index": task_index, "phase": phase},
+        )
+        obs_flight.recorder().record(
+            "fault_injected", node=self.name, fault=event.kind,
+            task_index=task_index, phase=phase,
         )
         if event.kind == "kill":
             raise NodeKilled(f"node {self.name} killed at task {task_index}")

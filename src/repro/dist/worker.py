@@ -32,18 +32,14 @@ import time
 
 from repro.dist import protocol
 from repro.dist.transport import ChannelClosed
+from repro.obs import _state as obs_state
+from repro.obs import flight as obs_flight
 from repro.obs import log as obs_log
-from repro.obs import metrics
+from repro.obs import metrics, trace
 
 __all__ = ["NodeKilled", "NodeHang", "NodeStall", "WorkerLoop", "serve"]
 
 _LOGGER = obs_log.get_logger("dist.worker")
-
-_EXECUTED = metrics.registry().counter(
-    "repro_dist_worker_tasks_total",
-    help="Task attempts executed by this worker process",
-    unit="tasks",
-)
 
 
 class NodeKilled(BaseException):
@@ -86,10 +82,19 @@ class WorkerLoop:
     abort:
         Optional :class:`threading.Event`; set to cut short injected
         hangs/stalls at harness teardown.
+    scrape_registry:
+        The :class:`~repro.obs.metrics.MetricsRegistry` whose cumulative
+        dump rides every heartbeat and result (while observability is
+        enabled) for the coordinator to merge as ``node=``-labeled
+        series.  Defaults to a *private* registry: simulated nodes share
+        the coordinator's process, and scraping the shared default
+        registry back into itself would double-count.  Socket workers
+        (:func:`serve`) pass their process-wide registry.
     """
 
     def __init__(self, channel, *, name="worker", fault_hook=None,
-                 transient_types=None, abort=None, clock=time.monotonic):
+                 transient_types=None, abort=None, clock=time.monotonic,
+                 scrape_registry=None):
         if transient_types is None:
             from repro.resilience.runner import TRANSIENT_TYPES
 
@@ -101,6 +106,41 @@ class WorkerLoop:
         self.abort = abort if abort is not None else threading.Event()
         self.clock = clock
         self.tasks_started = 0
+        self.scrape_registry = (
+            scrape_registry if scrape_registry is not None
+            else metrics.MetricsRegistry()
+        )
+        self._scrape_seq = 0
+        self._tasks_metric = self.scrape_registry.counter(
+            "repro_dist_worker_tasks_total",
+            help="Task attempts executed by this worker process",
+            unit="tasks",
+        )
+        self._heartbeats_metric = self.scrape_registry.counter(
+            "repro_dist_worker_heartbeats_total",
+            help="Lease-renewal heartbeats sent by this worker",
+            unit="heartbeats",
+        )
+        self._task_seconds_metric = self.scrape_registry.histogram(
+            "repro_dist_worker_task_seconds",
+            help="Wall time of task attempts on this worker",
+            unit="seconds",
+        )
+
+    def _scrape(self):
+        """``(seq, cumulative dump)`` for piggybacking, or ``(None, None)``.
+
+        Gated on the observability flag like every other probe: the
+        dump is only built (and shipped) while obs is enabled, so
+        disabled campaigns pay one flag read per heartbeat.
+        """
+        if not obs_state.enabled:
+            return None, None
+        dump = self.scrape_registry.to_dict()
+        if not dump:
+            return None, None
+        self._scrape_seq += 1
+        return self._scrape_seq, dump
 
     # ------------------------------------------------------------------
     def run(self):
@@ -129,42 +169,69 @@ class WorkerLoop:
         if self.fault_hook is not None:
             self.fault_hook(phase, self.tasks_started)
 
+    def _heartbeat(self, task_id, attempt):
+        seq, dump = self._scrape()
+        self._heartbeats_metric.inc()
+        self.channel.send(protocol.make_heartbeat(
+            self.name, task_id, attempt, seq=seq, metrics=dump,
+        ))
+
     def _serve_task(self, message):
         task = message["task"]
+        task_id = task["task_id"]
         seed = message["seed"]
         attempt = message["attempt"]
         heartbeat_s = max(float(message.get("lease_s", 1.0)) / 4.0, 0.01)
         self.tasks_started += 1
+        obs_flight.recorder().record(
+            "task_received", node=self.name, task_id=task_id,
+            attempt=int(attempt), seed=seed,
+        )
         try:
             self._hook("task_start")
         except NodeHang as hang:
             self.abort.wait(hang.duration_s)  # frozen: no heartbeat, no result
             return
         box = {}
+        ctx = task.get("trace") or {}
 
         def _attempt():
             started = time.perf_counter()
+            # Detached: the span ships back with the result and is
+            # adopted into the coordinator's forest, never recorded
+            # locally.  Entered on this thread so cpu_s is the
+            # attempt's own thread time.
+            attempt_span = trace.span(
+                "dist.attempt", detached=True, task=task_id,
+                node=self.name, attempt=int(attempt), seed=seed,
+            )
+            if isinstance(attempt_span, trace.Span) and ctx.get("trace_id"):
+                attempt_span.trace_id = ctx["trace_id"]
+                if ctx.get("parent_span_id"):
+                    attempt_span.set(parent_span_id=ctx["parent_span_id"])
             try:
-                box["payload"] = protocol.execute_task(task, seed)
+                with attempt_span:
+                    box["payload"] = protocol.execute_task(task, seed)
             except (KeyboardInterrupt, SystemExit):
                 raise
             except Exception as exc:  # shipped to the coordinator
                 box["error"] = exc
             box["wall"] = time.perf_counter() - started
+            if isinstance(attempt_span, trace.Span):
+                box["spans"] = [attempt_span.to_dict()]
+            self._tasks_metric.inc()
+            self._task_seconds_metric.observe(box["wall"])
 
         runner = threading.Thread(
             target=_attempt,
-            name=f"dist-{self.name}-{task['task_id']}",
+            name=f"dist-{self.name}-{task_id}",
             daemon=True,
         )
         runner.start()
         while runner.is_alive():
             runner.join(heartbeat_s)
             if runner.is_alive():
-                self.channel.send(
-                    protocol.make_heartbeat(self.name, task["task_id"], attempt)
-                )
-        _EXECUTED.inc()
+                self._heartbeat(task_id, attempt)
         try:
             self._hook("task_finish")
         except NodeHang as hang:
@@ -174,27 +241,36 @@ class WorkerLoop:
         except NodeStall as stall:
             deadline = self.clock() + stall.duration_s
             while self.clock() < deadline and not self.abort.is_set():
-                self.channel.send(
-                    protocol.make_heartbeat(self.name, task["task_id"], attempt)
-                )
+                self._heartbeat(task_id, attempt)
                 self.abort.wait(heartbeat_s)
             return
+        seq, dump = self._scrape()
         if "error" in box:
             exc = box["error"]
             _LOGGER.warning(
                 "task %s attempt %d failed on %s (%s: %s)",
-                task["task_id"], attempt + 1, self.name,
+                task_id, attempt + 1, self.name,
                 type(exc).__name__, exc,
-                extra={"task": task["task_id"], "node": self.name,
+                extra={"task": task_id, "node": self.name,
                        "attempt": attempt + 1, "error_type": type(exc).__name__},
             )
+            obs_flight.recorder().record(
+                "task_error", node=self.name, task_id=task_id,
+                attempt=int(attempt), error_type=type(exc).__name__,
+            )
             self.channel.send(protocol.make_error(
-                self.name, task["task_id"], attempt, exc, box["wall"],
+                self.name, task_id, attempt, exc, box["wall"],
                 transient=isinstance(exc, self.transient_types),
+                spans=box.get("spans"), seq=seq, metrics=dump,
             ))
         else:
+            obs_flight.recorder().record(
+                "task_done", node=self.name, task_id=task_id,
+                attempt=int(attempt),
+            )
             self.channel.send(protocol.make_result(
-                self.name, task["task_id"], attempt, box["payload"], box["wall"]
+                self.name, task_id, attempt, box["payload"], box["wall"],
+                spans=box.get("spans"), seq=seq, metrics=dump,
             ))
 
 
@@ -236,7 +312,11 @@ def serve(address, *, authkey=None, name=None, once=False, cache_dir=None,
                 _LOGGER.warning("rejected connection: %s", exc)
                 continue
             channel = transport.PipeChannel(conn, name=node)
-            outcome = WorkerLoop(channel, name=node).run()
+            # Socket workers own their process, so the process-wide
+            # registry is exactly what the coordinator should scrape.
+            outcome = WorkerLoop(
+                channel, name=node, scrape_registry=metrics.registry(),
+            ).run()
             channel.close()
             _LOGGER.info("coordinator detached (%s)", outcome,
                          extra={"node": node, "outcome": outcome})

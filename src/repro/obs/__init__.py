@@ -13,6 +13,9 @@ samples went:
   formatter, stderr-only) for every diagnostic the package emits;
 - :mod:`repro.obs.report` -- the ``run.json`` manifest (config, seeds,
   git rev, span tree, metric dump) written by profiled runs;
+- :mod:`repro.obs.flight` -- the crash flight recorder: a bounded ring
+  of structured events persisted atomically on crash, SIGTERM, or
+  campaign failure;
 - :mod:`repro.obs.bench` -- the shared ``BENCH_*.json`` schema and the
   regression differ the nightly CI gate runs.
 
@@ -36,26 +39,42 @@ from repro.obs.bench import (
     validate_bench,
     write_bench,
 )
+from repro.obs.flight import FlightRecorder
+from repro.obs.flight import recorder as flight_recorder
 from repro.obs.log import configure as configure_logging
 from repro.obs.log import get_logger
-from repro.obs.metrics import MetricsRegistry, parse_prometheus_text, registry
-from repro.obs.report import RunReport, profile
-from repro.obs.trace import aggregate, span, snapshot
+from repro.obs.metrics import (
+    MetricsRegistry,
+    ScrapeMerger,
+    diff_dump,
+    merge_dump,
+    parse_prometheus_text,
+    registry,
+)
+from repro.obs.report import RunReport, git_revision_info, profile
+from repro.obs.trace import aggregate, new_trace_id, span, snapshot
 
 __all__ = [
     "BENCH_SCHEMA",
+    "FlightRecorder",
     "MetricsRegistry",
     "RunReport",
+    "ScrapeMerger",
     "aggregate",
     "configure_logging",
     "diff_bench",
+    "diff_dump",
     "disable",
     "enable",
     "enabled",
+    "flight_recorder",
     "get_logger",
+    "git_revision_info",
     "is_enabled",
     "load_bench",
     "make_bench",
+    "merge_dump",
+    "new_trace_id",
     "parse_prometheus_text",
     "profile",
     "registry",

@@ -40,8 +40,11 @@ __all__ = [
     "Gauge",
     "Histogram",
     "MetricsRegistry",
+    "ScrapeMerger",
     "registry",
     "merge_dump",
+    "diff_dump",
+    "relabel_dump",
     "prometheus_from_dump",
     "parse_prometheus_text",
     "DEFAULT_BUCKETS",
@@ -397,6 +400,127 @@ def merge_dump(dump, into=None):
                 metric._count += int(doc["count"])
         else:
             raise ValueError(f"unknown metric type {kind!r} in dump")
+
+
+def diff_dump(new, old):
+    """The incremental delta between two cumulative registry dumps.
+
+    Heartbeat scraping ships each worker's *cumulative*
+    :meth:`MetricsRegistry.to_dict` dump; the coordinator needs the
+    delta since the previous scrape so repeated merges never
+    double-count.  Per kind:
+
+    - **counter** -- ``new - old``; a negative delta means the worker
+      restarted (its registry reset), so the full new value is the
+      delta;
+    - **gauge** -- passed through unchanged (last-write-wins on merge,
+      min/max envelopes union idempotently);
+    - **histogram** -- per-bucket cumulative counts, sum and count
+      subtract; any decreasing bucket means a restart and the full new
+      histogram is the delta.  Bucket bounds that changed between
+      scrapes are a hard error, mirroring :func:`merge_dump`.
+
+    Entries absent from ``new`` are dropped (nothing to add); entries
+    absent from ``old`` pass through whole.
+    """
+    delta = {}
+    for key, doc in new.items():
+        kind = doc.get("type")
+        previous = old.get(key)
+        if previous is None or previous.get("type") != kind:
+            delta[key] = doc
+            continue
+        if kind == "counter":
+            step = float(doc["value"]) - float(previous["value"])
+            if step < 0:  # worker restart: the new count stands alone
+                step = float(doc["value"])
+            delta[key] = dict(doc, value=step)
+        elif kind == "gauge":
+            delta[key] = doc
+        elif kind == "histogram":
+            bounds = [float(b) for b in doc["buckets"] if b != "+Inf"]
+            old_bounds = [float(b) for b in previous["buckets"] if b != "+Inf"]
+            if bounds != old_bounds:
+                raise ValueError(
+                    f"histogram {key!r} bucket bounds changed between scrapes; "
+                    f"refusing to mis-bin"
+                )
+            buckets = {}
+            restarted = (int(doc["count"]) < int(previous["count"]))
+            for bound_key in doc["buckets"]:
+                step = int(doc["buckets"][bound_key]) - int(
+                    previous["buckets"].get(bound_key, 0))
+                if step < 0:
+                    restarted = True
+                buckets[bound_key] = step
+            if restarted:
+                delta[key] = doc
+            else:
+                delta[key] = dict(
+                    doc,
+                    buckets=buckets,
+                    sum=float(doc["sum"]) - float(previous["sum"]),
+                    count=int(doc["count"]) - int(previous["count"]),
+                )
+        else:
+            raise ValueError(f"unknown metric type {kind!r} in dump")
+    return delta
+
+
+def relabel_dump(dump, **labels):
+    """A copy of ``dump`` with ``labels`` folded into every entry.
+
+    The coordinator stamps worker scrapes with ``node=<name>`` before
+    merging, so per-node series stay distinguishable in the cluster
+    registry (and in ``repro obs export-metrics`` output).
+    """
+    out = {}
+    for key, doc in dump.items():
+        name = key.split("{", 1)[0]
+        merged = dict(doc.get("labels") or {}, **{k: str(v) for k, v in labels.items()})
+        out[name + _label_str(merged)] = dict(doc, labels=merged)
+    return out
+
+
+class ScrapeMerger:
+    """Idempotent accumulator for per-node incremental metric scrapes.
+
+    Workers stamp every shipped dump with a monotone per-connection
+    sequence number.  :meth:`ingest` applies each ``(node, seq, dump)``
+    at most once: a duplicate or out-of-order scrape -- routine after a
+    healed partition redelivers queued heartbeats -- is dropped, and
+    the applied delta is ``dump - last_applied_dump`` via
+    :func:`diff_dump`, so counters and histograms never double-count no
+    matter how often a cumulative snapshot is replayed.  Deltas merge
+    into ``into`` (default: the process registry) with a ``node=``
+    label via :func:`merge_dump`, which still hard-errors on histogram
+    bucket-bound mismatches.
+    """
+
+    def __init__(self, into=None):
+        self._into = _default_registry if into is None else into
+        self._last = {}  # node -> (seq, cumulative dump)
+        self._lock = threading.Lock()
+
+    def ingest(self, node, seq, dump):
+        """Apply one scrape; returns True if it advanced the node's state."""
+        if not dump:
+            return False
+        node = str(node)
+        seq = int(seq)
+        with self._lock:
+            last_seq, last_dump = self._last.get(node, (0, {}))
+            if seq <= last_seq:
+                return False
+            delta = diff_dump(dump, last_dump)
+            merge_dump(relabel_dump(delta, node=node), into=self._into)
+            self._last[node] = (seq, dump)
+        return True
+
+    def seen(self, node):
+        """The last sequence number applied for ``node`` (0 if none)."""
+        with self._lock:
+            return self._last.get(str(node), (0, {}))[0]
 
 
 def prometheus_from_dump(dump):

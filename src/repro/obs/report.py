@@ -31,23 +31,43 @@ from pathlib import Path
 
 from repro.obs import _state, metrics, trace
 
-__all__ = ["RUN_SCHEMA", "RunReport", "profile", "git_revision"]
+__all__ = ["RUN_SCHEMA", "RunReport", "profile", "git_revision",
+           "git_revision_info"]
 
 RUN_SCHEMA = "repro-run/1"
 """Manifest schema tag; bump when the run.json layout changes."""
 
 
-def git_revision(cwd=None):
-    """The repository's short HEAD revision, or ``None`` outside git."""
+def git_revision_info(cwd=None):
+    """``(short HEAD revision, reason)`` -- exactly one of the two is set.
+
+    Profiled runs are routinely launched from an exported tarball, a
+    container without git, or a scratch directory; the manifest must
+    degrade to ``git_rev: null`` plus a *reason* rather than depend on
+    subprocess success.  Reasons distinguish git being absent, the cwd
+    not being a checkout, and git timing out.
+    """
     try:
         out = subprocess.run(
             ["git", "rev-parse", "--short", "HEAD"],
             cwd=cwd, capture_output=True, text=True, timeout=5,
         )
-    except (OSError, subprocess.SubprocessError):
-        return None
+    except FileNotFoundError:
+        return None, "git executable not found"
+    except subprocess.TimeoutExpired:
+        return None, "git rev-parse timed out"
+    except (OSError, subprocess.SubprocessError) as exc:
+        return None, f"git rev-parse failed: {exc}"
     rev = out.stdout.strip()
-    return rev if out.returncode == 0 and rev else None
+    if out.returncode == 0 and rev:
+        return rev, None
+    stderr = (out.stderr or "").strip().splitlines()
+    return None, (stderr[0] if stderr else "not a git checkout")
+
+
+def git_revision(cwd=None):
+    """The repository's short HEAD revision, or ``None`` outside git."""
+    return git_revision_info(cwd)[0]
 
 
 class RunReport:
@@ -83,13 +103,14 @@ class RunReport:
     def to_dict(self):
         import numpy
 
-        return {
+        rev, rev_reason = git_revision_info()
+        doc = {
             "schema": RUN_SCHEMA,
             "command": self.command,
             "argv": self.argv,
             "config": self.config,
             "seed": self.seed,
-            "git_rev": git_revision(),
+            "git_rev": rev,
             "python": platform.python_version(),
             "numpy": numpy.__version__,
             "started_at": self.started_at,
@@ -100,6 +121,9 @@ class RunReport:
             "spans": self.spans,
             "metrics": self.metrics,
         }
+        if rev is None:
+            doc["git_rev_reason"] = rev_reason
+        return doc
 
     def write(self, path):
         """Write the manifest as ``run.json``; returns the path."""

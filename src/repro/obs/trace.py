@@ -24,6 +24,8 @@ instrumentation costs nanoseconds in hot loops that stay disabled.
 
 from __future__ import annotations
 
+import hashlib
+import itertools
 import threading
 import time
 import tracemalloc
@@ -32,11 +34,27 @@ from repro.obs import _state
 
 __all__ = [
     "span",
+    "new_trace_id",
     "reset",
     "snapshot",
     "aggregate",
     "format_span_tree",
 ]
+
+_span_ids = itertools.count(1)
+
+
+def new_trace_id(seed=None):
+    """A trace id for cross-process span stitching.
+
+    With a ``seed`` the id is a pure sha256 function of it (the
+    distributed coordinator derives one from the campaign seed, so a
+    rerun carries the same trace id); without one a process-unique
+    counter id is handed out.
+    """
+    if seed is not None:
+        return hashlib.sha256(f"{seed}:trace".encode()).hexdigest()[:16]
+    return f"t{next(_span_ids):08d}"
 
 
 class _NullSpan:
@@ -51,6 +69,9 @@ class _NullSpan:
         return False
 
     def set(self, **attrs):
+        return self
+
+    def adopt(self, tree):
         return self
 
 
@@ -73,10 +94,11 @@ class Span:
 
     __slots__ = (
         "name", "attrs", "children", "wall_s", "cpu_s", "mem_peak_kb",
-        "error", "thread", "_t0", "_c0", "_m0",
+        "error", "thread", "span_id", "trace_id", "detached",
+        "_t0", "_c0", "_m0",
     )
 
-    def __init__(self, name, attrs):
+    def __init__(self, name, attrs, detached=False):
         self.name = str(name)
         self.attrs = attrs
         self.children = []
@@ -85,10 +107,30 @@ class Span:
         self.mem_peak_kb = None
         self.error = None
         self.thread = threading.current_thread().name
+        self.span_id = f"s{next(_span_ids):08d}"
+        self.trace_id = None
+        self.detached = bool(detached)
 
     def set(self, **attrs):
         """Attach (or update) attributes mid-span; returns the span."""
         self.attrs.update(attrs)
+        return self
+
+    def adopt(self, tree):
+        """Graft a serialized span tree (a ``to_dict`` dict) as a child.
+
+        This is how the distributed coordinator stitches worker-side
+        span subtrees -- shipped back as plain dicts with each result
+        -- into its own span forest, so ``run.json`` covers the whole
+        cluster.  The adopted tree inherits this span's trace id.
+        Returns the span.
+        """
+        if not isinstance(tree, dict) or "name" not in tree:
+            raise ValueError(f"adopt() wants a span dict with a name, got {tree!r}")
+        tree = dict(tree)
+        if self.trace_id is not None:
+            tree.setdefault("trace_id", self.trace_id)
+        self.children.append(tree)
         return self
 
     def __enter__(self):
@@ -121,7 +163,11 @@ class Span:
             stack.pop()
         if stack:
             stack[-1].children.append(self)
-        else:
+        elif not self.detached:
+            # Detached spans (a dist worker's attempt in the simulated
+            # cluster) are shipped over the wire and adopted into the
+            # coordinator's forest; landing in the shared collector too
+            # would record them twice.
             with _lock:
                 _roots.append(self)
         return False
@@ -132,6 +178,9 @@ class Span:
             "wall_s": round(self.wall_s, 6) if self.wall_s is not None else None,
             "cpu_s": round(self.cpu_s, 6) if self.cpu_s is not None else None,
         }
+        if self.trace_id is not None:
+            doc["trace_id"] = self.trace_id
+            doc["span_id"] = self.span_id
         if self.mem_peak_kb is not None:
             doc["mem_peak_kb"] = round(self.mem_peak_kb, 1)
         if self.attrs:
@@ -141,7 +190,12 @@ class Span:
         if self.thread != "MainThread":
             doc["thread"] = self.thread
         if self.children:
-            doc["children"] = [child.to_dict() for child in self.children]
+            # Children are Span objects, or adopted remote trees that
+            # arrived as plain dicts.
+            doc["children"] = [
+                child.to_dict() if isinstance(child, Span) else dict(child)
+                for child in self.children
+            ]
         return doc
 
     def __repr__(self):
@@ -149,15 +203,18 @@ class Span:
         return f"Span({self.name!r}, {wall}, {len(self.children)} child(ren))"
 
 
-def span(name, **attrs):
+def span(name, detached=False, **attrs):
     """Open a span named ``name`` with optional attributes.
 
     Returns a context manager; with observability disabled this is a
-    shared no-op object and the call costs one flag read.
+    shared no-op object and the call costs one flag read.  A
+    ``detached`` span never lands in the process collector -- it exists
+    to be serialized (``to_dict``) and adopted into another process's
+    span forest, the dist worker's attempt-span mode.
     """
     if not _state.enabled:
         return _NULL
-    return Span(name, attrs)
+    return Span(name, attrs, detached=detached)
 
 
 def reset():

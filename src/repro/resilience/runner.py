@@ -43,6 +43,7 @@ import time
 import traceback as traceback_module
 from pathlib import Path
 
+from repro.obs import flight as obs_flight
 from repro.obs import log as obs_log
 from repro.obs import metrics, trace
 from repro.qa.golden import digests_match, summarize
@@ -320,6 +321,10 @@ class CheckpointStore:
                 (json.dumps(meta, indent=2, sort_keys=True) + "\n").encode(),
             )
         _CHECKPOINT_SAVED.inc(len(payload))
+        obs_flight.recorder().record(
+            "checkpoint_saved", task_id=experiment_id, bytes=len(payload),
+            attempts=int(attempts),
+        )
 
     def load(self, experiment_id):
         """Return ``(result, meta)`` for a verified checkpoint, else ``None``.
@@ -493,6 +498,10 @@ def _run_spec(spec, *, store, resume, base_seed, max_retries, timeout_s,
                            "timeout": isinstance(exc, TimeoutError),
                            "wall_s": round(wall, 3)},
                 )
+                obs_flight.recorder().record(
+                    "task_retry", task_id=eid, node="local",
+                    attempt=attempt + 1, error_type=failure.error_type,
+                )
                 notify("retry", eid, failure.describe())
                 sleep(min(backoff_base * 2.0 ** attempt, backoff_cap))
                 continue
@@ -508,6 +517,10 @@ def _run_spec(spec, *, store, resume, base_seed, max_retries, timeout_s,
                        "timeout": isinstance(exc, TimeoutError),
                        "wall_s": round(wall, 3)},
             )
+            obs_flight.recorder().record(
+                "task_failed", task_id=eid, node="local", attempt=attempt,
+                seed=seed, error_type=failure.error_type,
+            )
             notify("failed", eid, failure.describe())
             break
         else:
@@ -518,6 +531,10 @@ def _run_spec(spec, *, store, resume, base_seed, max_retries, timeout_s,
             outcome.record = ExperimentRecord(eid, "completed", attempt + 1, total_wall, seed)
             if store is not None:
                 store.save(eid, result, seed, attempt + 1, total_wall)
+            obs_flight.recorder().record(
+                "task_completed", task_id=eid, node="local", attempt=attempt,
+                seed=seed,
+            )
             notify("completed", eid)
             break
     return outcome

@@ -183,6 +183,58 @@ class TestKillResumeMigration:
         _assert_identical(report, uninterrupted, ckpt)
 
 
+class TestFlightDeterminism:
+    """ISSUE 9 acceptance: the flight recording's canonical projection
+    (per-task terminal outcomes: id, attempt, seed, status) is
+    byte-identical at worker counts {1, 2, 5}, fault scripts included
+    -- node loss keeps attempt numbers, so the projection is a function
+    of ``(tasks, base_seed)`` alone.  Full recordings (scheduling-
+    dependent by nature) are persisted to ``REPRO_CHAOS_FLIGHT_DIR``
+    when set, so nightly CI can attach them to failures."""
+
+    def test_canonical_recording_identical_across_worker_counts(
+            self, chaos_seed, tmp_path):
+        import os
+
+        from repro.obs import flight as obs_flight
+
+        out_dir = os.environ.get("REPRO_CHAOS_FLIGHT_DIR")
+        out_dir = tmp_path if out_dir is None else __import__("pathlib").Path(out_dir)
+        out_dir.mkdir(parents=True, exist_ok=True)
+        canonical = {}
+        try:
+            for n_nodes in (1, 2, 5):
+                names = [f"n{i}" for i in range(n_nodes)]
+                fault_seed = derive_seed(chaos_seed, f"flight-{n_nodes}")
+                script = FaultScript.random(
+                    fault_seed, names, n_events=max(1, n_nodes - 1),
+                    max_task=2, duration_s=0.5,
+                )
+                flight_path = out_dir / f"flight-{n_nodes}w.jsonl"
+                with SimCluster(n_nodes, script=script) as cluster:
+                    report = run_distributed(
+                        _tasks(), cluster.endpoints(), base_seed=BASE_SEED,
+                        lease_s=0.3, task_timeout_s=3.0,
+                        flight_path=str(flight_path),
+                    )
+                assert report.ok, report.failures
+                recording = obs_flight.recorder()
+                # The full ordered recording landed on disk...
+                assert flight_path.exists() and flight_path.stat().st_size > 0
+                # ...and the canonical projection is worker-count-free.
+                canonical[n_nodes] = (
+                    "\n".join(recording.canonical_lines()) + "\n"
+                ).encode()
+        finally:
+            obs_flight.configure()  # restore the gated default recorder
+        assert len(canonical) == 3
+        assert canonical[1] == canonical[2] == canonical[5], (
+            f"canonical flight projections diverged (qa chaos seed {chaos_seed})"
+        )
+        # Every task reached a terminal outcome exactly once.
+        assert len(canonical[1].splitlines()) == N_TASKS
+
+
 class TestSharedStoreUnderChaos:
     def test_artifact_store_survives_node_loss(self, uninterrupted, tmp_path):
         """Refs minted by a node that later dies still resolve (the
