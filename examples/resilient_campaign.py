@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """Kill-and-resume experiment orchestration with repro.resilience.
 
-The full reproduction campaign is 23 experiments; before the
+The full reproduction campaign is 25 experiments; before the
 resilience layer one crash at experiment 15 threw away everything.
 This demo runs the quick campaign under the supervisor three times:
 
@@ -13,7 +13,7 @@ This demo runs the quick campaign under the supervisor three times:
    remainder runs;
 3. the same campaign runs under an injected fault plan whose first
    attempts fail with transient errors -- bounded retry on rotated
-   seeds completes all 23, and the failure report lists exactly the
+   seeds completes all 25, and the failure report lists exactly the
    injected faults.
 
 Run:  python examples/resilient_campaign.py [--checkpoints 3]

@@ -12,6 +12,8 @@ Usage (also via ``python -m repro``):
     repro experiments --quick
     repro experiments --quick --checkpoint-dir ckpt --resume --max-retries 2
     repro experiments --quick --profile fig14
+    repro alloc --demo --users 32 --epochs 24 --workers 2
+    repro alloc --demo --allocator harvest --json
     repro obs report run.json
     repro obs export-metrics run.json
     repro obs bench-diff baseline.json BENCH_obs.json --tolerance 0.2
@@ -275,6 +277,36 @@ def build_parser():
     p_dist_top.add_argument("--interval", type=float, default=1.0,
                             help="refresh interval in seconds for --follow "
                                  "(default 1.0)")
+
+    p_alc = sub.add_parser(
+        "alloc",
+        help="closed-loop bandwidth/buffer allocation over a competing fleet",
+    )
+    p_alc.add_argument("--demo", action="store_true",
+                       help="run the built-in heterogeneous demo fleet "
+                            "(mixed-Hurst video + CBR + bursty data)")
+    p_alc.add_argument("--allocator", default="all", metavar="NAME",
+                       help='policy to run: static, oracle, harvest, trade, '
+                            'or "all" (default)')
+    p_alc.add_argument("--users", type=int, default=32,
+                       help="fleet size (default 32)")
+    p_alc.add_argument("--epochs", type=int, default=24,
+                       help="number of reallocation epochs (default 24)")
+    p_alc.add_argument("--epoch-slots", type=int, default=80,
+                       help="slots per epoch (default 80)")
+    p_alc.add_argument("--utilization", type=float, default=0.8,
+                       help="pool capacity as mean-rate/C (default 0.8)")
+    p_alc.add_argument("--buffer-slots", type=float, default=12.0,
+                       help="pool buffer as slots at full capacity (default 12)")
+    p_alc.add_argument("--qos-loss", type=float, default=1e-3,
+                       help="per-user QoS loss-rate target (default 1e-3)")
+    p_alc.add_argument("--seed", type=int, default=2026,
+                       help="fleet seed (sha256-derived per user and epoch)")
+    p_alc.add_argument("--workers", type=int, default=1,
+                       help="process-pool workers; digests are identical at "
+                            "every worker count")
+    p_alc.add_argument("--json", action="store_true", dest="as_json",
+                       help="emit full per-allocator summaries as JSON on stdout")
 
     p_rep = sub.add_parser("report", help="full Section-3 analysis report")
     p_rep.add_argument("trace", nargs="?", help="trace file (omit with --synthetic)")
@@ -800,6 +832,58 @@ def _cmd_dist(args):
     return 0
 
 
+def _cmd_alloc(args):
+    from repro.alloc import ALLOCATORS, demo_fleet, simulate_fleet
+    from repro.experiments.reporting import format_table
+
+    if args.users < 1 or args.epochs < 1 or args.epoch_slots < 1:
+        raise SystemExit("--users, --epochs and --epoch-slots must be >= 1")
+    if args.workers < 1:
+        raise SystemExit("--workers must be >= 1")
+    names = sorted(ALLOCATORS) if args.allocator == "all" else [args.allocator]
+    unknown = sorted(set(names) - set(ALLOCATORS))
+    if unknown:
+        print(
+            f"error: unknown allocator {unknown[0]!r}; choose from "
+            f"{sorted(ALLOCATORS)} or \"all\"", file=sys.stderr,
+        )
+        return 2
+    spec = demo_fleet(
+        args.users, epoch_slots=args.epoch_slots, n_epochs=args.epochs,
+        utilization=args.utilization, buffer_slots=args.buffer_slots,
+        qos_loss=args.qos_loss, seed=args.seed,
+    )
+    results = {
+        name: simulate_fleet(spec, name, workers=args.workers) for name in names
+    }
+    if args.as_json:
+        json.dump({name: r.summary() for name, r in results.items()},
+                  sys.stdout, indent=2, default=float)
+        print()
+        return 0
+    capacity, buffer = spec.resolved_totals()
+    print(
+        f"fleet: {args.users} users x {args.epochs} epochs x "
+        f"{args.epoch_slots} slots, C={capacity:.0f} B/slot, "
+        f"Q={buffer:.0f} B, seed {args.seed}"
+    )
+    rows = []
+    for name, r in results.items():
+        loss = r.loss_percentiles()
+        rows.append([
+            name, f"{r.total_loss_rate:.3e}", f"{loss['p99']:.3e}",
+            f"{r.fairness():.3f}", str(r.violators()), str(r.reallocations),
+            f"{r.capacity_moved:.3g}",
+        ])
+    print(format_table(
+        ["allocator", "loss", "p99 loss", "fairness", "violators",
+         "reallocs", "C moved"], rows,
+    ))
+    for name, r in results.items():
+        print(f"digest {name}: {r.digest()}")
+    return 0
+
+
 def _cmd_generate(args):
     from repro.core.model import VBRVideoModel
     from repro.video.tracefile import save_trace
@@ -880,6 +964,7 @@ _COMMANDS = {
     "simulate": _cmd_simulate,
     "stream": _cmd_stream,
     "experiments": _cmd_experiments,
+    "alloc": _cmd_alloc,
     "generate": _cmd_generate,
     "net": _cmd_net,
     "doctor": _cmd_doctor,

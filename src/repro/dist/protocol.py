@@ -278,6 +278,33 @@ def _run_fgn_task(params, seed):
     return sample
 
 
+def _run_alloc_task(params, seed):
+    """One allocator over a seeded demo fleet; returns the summary rollup.
+
+    The fleet is a pure function of ``params`` (the fleet seed travels
+    in ``params["seed"]``, sha256-expanded per user and epoch), so the
+    supervisor's per-attempt ``seed`` is accepted and ignored -- retries
+    and re-runs on any node reproduce the same digest bit for bit.
+    """
+    from repro.alloc import demo_fleet, simulate_fleet
+
+    del seed
+    spec = demo_fleet(
+        int(params.get("n_users", 32)),
+        epoch_slots=int(params.get("epoch_slots", 80)),
+        n_epochs=int(params.get("n_epochs", 24)),
+        utilization=float(params.get("utilization", 0.8)),
+        buffer_slots=float(params.get("buffer_slots", 12.0)),
+        qos_loss=float(params.get("qos_loss", 1e-3)),
+        seed=int(params.get("seed", 2026)),
+    )
+    result = simulate_fleet(
+        spec, params.get("allocator", "static"),
+        workers=int(params.get("workers", 1)),
+    )
+    return result.summary()
+
+
 def _run_sleep_task(params, seed):
     """Simulated-latency work: occupy a worker without burning a core."""
     import time
@@ -290,6 +317,7 @@ def _run_sleep_task(params, seed):
 
 register_task_kind("experiment", _run_experiment_task)
 register_task_kind("fgn", _run_fgn_task)
+register_task_kind("alloc", _run_alloc_task)
 register_task_kind("sleep", _run_sleep_task)
 
 

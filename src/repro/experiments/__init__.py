@@ -36,6 +36,8 @@ from repro.experiments import (
     fig15_smg,
     fig16_model_vs_trace,
     fig17_loss_process,
+    fig_alloc_compare,
+    fig_alloc_smg,
     fig_net_tandem,
     fig_net_hurst_hops,
 )
@@ -63,6 +65,8 @@ __all__ = [
     "fig15_smg",
     "fig16_model_vs_trace",
     "fig17_loss_process",
+    "fig_alloc_compare",
+    "fig_alloc_smg",
     "fig_net_tandem",
     "fig_net_hurst_hops",
 ]

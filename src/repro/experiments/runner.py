@@ -33,6 +33,8 @@ from repro.experiments import (
     fig15_smg,
     fig16_model_vs_trace,
     fig17_loss_process,
+    fig_alloc_compare,
+    fig_alloc_smg,
     fig_net_hurst_hops,
     fig_net_tandem,
     table1,
@@ -102,6 +104,17 @@ def experiment_specs(trace, quick=False, sim_frames=None):
         spec(
             "fig_net_hurst_hops", fig_net_hurst_hops.run, trace,
             n_frames=min(sim_frames, 8_000),
+        ),
+        spec(
+            "fig_alloc_compare", fig_alloc_compare.run, trace,
+            n_users=24 if quick else 48,
+            n_epochs=16 if quick else 40,
+            epoch_slots=80 if quick else 100,
+        ),
+        spec(
+            "fig_alloc_smg", fig_alloc_smg.run, trace,
+            n_users=8 if quick else 16,
+            total_slots=900 if quick else 2_400,
         ),
     ]
 
@@ -332,5 +345,18 @@ def summary_lines(results):
         "Net Hurst/hops: variance-time H "
         + " -> ".join(f"{v:.2f}" for v in hh["hurst_variance_time"])
         + f" across {hh['hops']} hops (self-similarity survives queueing)"
+    )
+    ac = results["fig_alloc_compare"]
+    lines.append(
+        "Alloc compare: p99 per-user loss static={static:.3f} -> trade={trade:.3f} "
+        "-> harvest={harvest:.3f} -> oracle={oracle:.3f}".format(**ac["p99_loss"])
+        + (" (oracle is the lower bound)" if ac["oracle_is_lower_bound"] else "")
+    )
+    asg = results["fig_alloc_smg"]
+    best = max(asg["gain_vs_static"].items(), key=lambda kv: kv[1])
+    lines.append(
+        f"Alloc SMG: closed-loop harvest needs x{best[1]:.2f} less pool capacity "
+        f"than the static partition at epoch length {best[0]} "
+        f"(Norros anchor {asg['capacity_norros']:.0f} bytes/slot)"
     )
     return lines

@@ -35,9 +35,15 @@ def _n_feasible(series, n, capacity, buffer_bytes, target_loss, metric,
     if n == 1:
         arrival_sets = [series]
     else:
-        min_sep = min(1000, series.size // (2 * n))
         if series.size < 2 * n:
-            return False
+            # Too few slots to place n lagged copies: feasibility is
+            # simply unanswerable, and returning False here would let a
+            # short trace masquerade as an admission bound.
+            raise ValueError(
+                f"series too short to multiplex {n} sources: need at "
+                f"least {2 * n} slots, got {series.size}"
+            )
+        min_sep = min(1000, series.size // (2 * n))
         arrival_sets = [
             multiplex_series(series, random_lags(n, series.size, min_separation=min_sep, rng=rng))
             for _ in range(n_lag_draws)
@@ -92,7 +98,10 @@ def max_admissible_sources(
     if mean <= 0:
         raise ValueError("series must have positive mean")
     # Stability bound: more sources than capacity/mean can never fit.
-    n_cap = min(int(capacity / mean) + 1, n_max)
+    # The trace-length bound keeps the search inside what
+    # ``_n_feasible`` can actually answer (n lagged copies need at
+    # least 2n slots).
+    n_cap = min(int(capacity / mean) + 1, n_max, max(arr.size // 2, 1))
     if n_cap < 1 or not _n_feasible(
         arr, 1, capacity, buffer_bytes, target_loss, metric, slots_per_second, n_lag_draws, rng
     ):

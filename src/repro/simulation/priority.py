@@ -47,6 +47,24 @@ class PriorityQueueResult:
     low_lost: float
     """Low-priority bytes dropped."""
 
+    high_served: float = 0.0
+    """High-priority bytes actually transmitted."""
+
+    low_served: float = 0.0
+    """Low-priority bytes actually transmitted."""
+
+    high_final_backlog: float = 0.0
+    """High-priority bytes still queued when the series ended."""
+
+    low_final_backlog: float = 0.0
+    """Low-priority bytes still queued when the series ended.
+
+    Together these close the byte ledger per layer:
+    ``offered == served + lost + final_backlog`` exactly for integer
+    arrivals (and to float rounding otherwise) -- the conservation
+    property the tier-1 tests pin.
+    """
+
     high_loss_series: np.ndarray = field(repr=False, default=None)
     """Per-slot high-priority losses (when requested)."""
 
@@ -94,6 +112,8 @@ def simulate_priority_queue(
     backlog_lo = 0.0
     lost_hi = 0.0
     lost_lo = 0.0
+    total_served_hi = 0.0
+    total_served_lo = 0.0
     hs = h.tolist()
     ls = low.tolist()
     for t in range(len(hs)):
@@ -102,10 +122,12 @@ def simulate_priority_queue(
         # Strict-priority service: high first.
         served_hi = backlog_hi if backlog_hi < c else c
         backlog_hi -= served_hi
+        total_served_hi += served_hi
         remaining = c - served_hi
         if remaining > 0.0:
             served_lo = backlog_lo if backlog_lo < remaining else remaining
             backlog_lo -= served_lo
+            total_served_lo += served_lo
         # Pushout: drop low first, then high.
         overflow = backlog_hi + backlog_lo - q
         if overflow > 0.0:
@@ -127,6 +149,10 @@ def simulate_priority_queue(
         low_offered=float(low.sum()),
         high_lost=lost_hi,
         low_lost=lost_lo,
+        high_served=total_served_hi,
+        low_served=total_served_lo,
+        high_final_backlog=backlog_hi,
+        low_final_backlog=backlog_lo,
         high_loss_series=hi_series,
         low_loss_series=lo_series,
     )

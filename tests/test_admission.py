@@ -105,3 +105,55 @@ class TestNorrosAdmission:
         small = norros_admissible_sources(capacity_bps=20e6, **args)
         large = norros_admissible_sources(capacity_bps=60e6, **args)
         assert large > small
+
+
+class TestAdmissionProperties:
+    """Backfilled property wall: bisection exactness and search bounds."""
+
+    def test_bisection_is_exact_for_constant_sources(self):
+        """For constant-rate sources the answer has a closed form --
+        floor(C/m) copies fit losslessly, one more overflows -- and the
+        search must land on it exactly: N feasible and N+1 infeasible."""
+        from repro.simulation.queue import simulate_queue
+
+        m = 100.0
+        series = np.full(4_000, m)
+        slot_seconds = 1 / 24.0
+        capacity = 550.0  # bytes per slot -> exactly 5 sources fit
+        n = max_admissible_sources(
+            series, slot_seconds, capacity_bps=capacity * 8.0 / slot_seconds,
+            buffer_bytes=0.0, target_loss=0.0, rng=np.random.default_rng(0),
+        )
+        assert n == 5
+        assert simulate_queue(np.full(4_000, n * m), capacity, 0.0).lost_bytes == 0.0
+        assert simulate_queue(np.full(4_000, (n + 1) * m), capacity, 0.0).lost_bytes > 0.0
+
+    def test_short_series_raises_instead_of_feigning_infeasibility(self, series):
+        """Regression: _n_feasible used to return False when the trace
+        was too short to place the lagged copies, silently turning "I
+        cannot answer" into an admission bound."""
+        from repro.simulation.admission import _n_feasible
+
+        short = series[:10]
+        with pytest.raises(ValueError, match="at least 12 slots"):
+            _n_feasible(short, 6, 1e9, 1e9, 1e-3, "overall", 24, 1,
+                        np.random.default_rng(0))
+
+    def test_search_is_capped_by_trace_length(self):
+        """A huge link cannot admit more copies than the trace can
+        express: the public search stays inside what _n_feasible can
+        answer instead of raising mid-bisection."""
+        series = np.full(40, 10.0)
+        n = max_admissible_sources(
+            series, 1 / 24.0, capacity_bps=1e12, buffer_bytes=1e9,
+            target_loss=1e-2, rng=np.random.default_rng(0),
+        )
+        assert n == 20  # series.size // 2
+
+    def test_norros_admits_fewer_at_higher_hurst(self):
+        args = dict(mean_rate=27_791.0, variance_coeff=1_400.0,
+                    capacity_bps=45e6, buffer_bytes=500_000.0,
+                    target_loss=1e-4, slot_seconds=1 / 24.0)
+        smooth = norros_admissible_sources(hurst=0.55, **args)
+        bursty = norros_admissible_sources(hurst=0.9, **args)
+        assert smooth > bursty

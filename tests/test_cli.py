@@ -567,3 +567,49 @@ class TestNetCommand:
     def test_missing_spec_file_is_user_error(self, tmp_path, capsys):
         assert main(["net", str(tmp_path / "nope.json"), "--quiet"]) == 2
         assert "error:" in capsys.readouterr().err
+
+
+class TestAllocCommand:
+    DEMO = ["alloc", "--demo", "--users", "8", "--epochs", "4",
+            "--epoch-slots", "40"]
+
+    def test_demo_table(self, capsys):
+        assert main(self.DEMO) == 0
+        out = capsys.readouterr().out
+        assert "allocator" in out and "p99 loss" in out
+        for name in ("static", "harvest", "trade", "oracle"):
+            assert name in out
+            assert f"digest {name}: " in out
+
+    def test_single_allocator_json(self, capsys):
+        import json
+
+        assert main(self.DEMO + ["--allocator", "harvest", "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert list(doc) == ["harvest"]
+        summary = doc["harvest"]
+        assert summary["n_users"] == 8
+        assert len(summary["digest"]) == 64
+
+    def test_workers_share_the_digest(self, capsys):
+        import json
+
+        digests = set()
+        for w in ("1", "2"):
+            assert main(self.DEMO + ["--allocator", "trade", "--json",
+                                     "--workers", w]) == 0
+            doc = json.loads(capsys.readouterr().out)
+            digests.add(doc["trade"]["digest"])
+        assert len(digests) == 1
+
+    def test_unknown_allocator_is_user_error(self, capsys):
+        assert main(self.DEMO + ["--allocator", "nope", "--quiet"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown allocator" in err
+        assert "Traceback" not in err
+
+    def test_bad_counts_exit_nonzero(self):
+        with pytest.raises(SystemExit):
+            main(["alloc", "--demo", "--users", "0"])
+        with pytest.raises(SystemExit):
+            main(["alloc", "--demo", "--workers", "0"])

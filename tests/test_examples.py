@@ -101,11 +101,18 @@ class TestExamples:
         assert "priority and wfq shield the video class" in out
         assert "identical results" in out
 
+    def test_fleet_allocation(self):
+        out = run_example("fleet_allocation.py", "--users", "16",
+                          "--epochs", "8")
+        assert "allocator comparison" in out
+        assert "conserved exactly" in out
+        assert "digest-identical" in out
+
     def test_resilient_campaign(self):
         out = run_example("resilient_campaign.py")
         assert "killed" in out
         assert "resumed from digest-verified checkpoints" in out
-        assert "23/23 experiments completed" in out
+        assert "25/25 experiments completed" in out
         assert "matches the injected fault plan exactly" in out
 
     def test_distributed_campaign(self):

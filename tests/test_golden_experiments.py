@@ -31,6 +31,8 @@ from repro.experiments import (
     fig15_smg,
     fig16_model_vs_trace,
     fig17_loss_process,
+    fig_alloc_compare,
+    fig_alloc_smg,
     fig_net_hurst_hops,
     fig_net_tandem,
     table1,
@@ -74,6 +76,12 @@ EXPERIMENTS = {
     "fig17_loss_process": lambda t: fig17_loss_process.run(t, n_frames=8_000),
     "fig_net_tandem": lambda t: fig_net_tandem.run(t, n_frames=3_000, n_points=4),
     "fig_net_hurst_hops": lambda t: fig_net_hurst_hops.run(t, n_frames=6_000),
+    "fig_alloc_compare": lambda t: fig_alloc_compare.run(
+        t, n_users=24, epoch_slots=80, n_epochs=16
+    ),
+    "fig_alloc_smg": lambda t: fig_alloc_smg.run(
+        t, n_users=8, epoch_lengths=(30, 60), total_slots=600
+    ),
 }
 
 

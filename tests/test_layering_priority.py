@@ -136,3 +136,55 @@ class TestLayeredTransportEndToEnd:
         assert fifo.loss_rate > 0
         assert prio.high_loss_rate < 0.1 * fifo.loss_rate
         assert prio.low_loss_rate > fifo.loss_rate
+
+
+class TestPriorityQueueProperties:
+    """Backfilled property wall: exact byte ledger and pushout order."""
+
+    def test_byte_ledger_closes_exactly_for_integer_arrivals(self, rng):
+        """offered == served + lost + final backlog, per layer, exactly:
+        integer arrivals with integer capacity keep every intermediate
+        value integral, so float arithmetic is exact."""
+        for capacity, buffer_bytes in ((7.0, 20.0), (3.0, 0.0), (12.0, 5.0)):
+            h = rng.integers(0, 8, size=1_500).astype(float)
+            low = rng.integers(0, 8, size=1_500).astype(float)
+            r = simulate_priority_queue(h, low, capacity, buffer_bytes)
+            assert r.high_offered == r.high_served + r.high_lost + r.high_final_backlog
+            assert r.low_offered == r.low_served + r.low_lost + r.low_final_backlog
+
+    def test_byte_ledger_closes_for_float_arrivals(self, rng):
+        h = rng.uniform(0, 5, size=2_000)
+        low = rng.uniform(0, 5, size=2_000)
+        r = simulate_priority_queue(h, low, 4.5, 12.0)
+        assert r.high_offered == pytest.approx(
+            r.high_served + r.high_lost + r.high_final_backlog, rel=1e-12)
+        assert r.low_offered == pytest.approx(
+            r.low_served + r.low_lost + r.low_final_backlog, rel=1e-12)
+
+    def test_high_drops_only_after_low_is_empty(self, rng):
+        """Replay the recursion slot by slot: whenever the simulator
+        dropped a high-priority byte, the low-priority backlog must have
+        been pushed out completely first."""
+        h = rng.uniform(0, 9, size=3_000)
+        low = rng.uniform(0, 3, size=3_000)
+        capacity, q = 5.0, 8.0
+        r = simulate_priority_queue(h, low, capacity, q, return_series=True)
+        assert r.high_lost > 0.0  # the scenario actually exercises pushout
+        backlog_hi = backlog_lo = 0.0
+        for t in range(h.size):
+            backlog_hi += h[t]
+            backlog_lo += low[t]
+            served_hi = min(backlog_hi, capacity)
+            backlog_hi -= served_hi
+            backlog_lo -= min(backlog_lo, capacity - served_hi)
+            overflow = backlog_hi + backlog_lo - q
+            if overflow > 0.0:
+                drop_lo = min(backlog_lo, overflow)
+                backlog_lo -= drop_lo
+                drop_hi = overflow - drop_lo
+                backlog_hi -= drop_hi
+                assert r.high_loss_series[t] == pytest.approx(drop_hi, abs=1e-9)
+                if drop_hi > 0.0:
+                    assert backlog_lo == 0.0
+            else:
+                assert r.high_loss_series[t] == 0.0

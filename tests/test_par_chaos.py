@@ -191,7 +191,7 @@ class TestParallelCampaign:
             report=True, workers=2,
         )
         assert report.ok
-        assert len(report.results) == 23
+        assert len(report.results) == 25
         assert set(report.resumed) == set(completed)
         assert diff_digests(
             campaign_digest(uninterrupted), campaign_digest(report.results)

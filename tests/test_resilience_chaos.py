@@ -1,4 +1,4 @@
-"""Chaos tests over the real 23-experiment campaign (tier 2).
+"""Chaos tests over the real 25-experiment campaign (tier 2).
 
 The acceptance scenarios for :mod:`repro.resilience`: a quick campaign
 SIGKILLed mid-run resumes to digest-identical results, and an injected
@@ -80,7 +80,7 @@ class TestKillAndResume:
         report = run_all(quick=True, checkpoint_dir=str(ckpt), resume=True,
                          report=True)
         assert report.ok
-        assert len(report.results) == 23
+        assert len(report.results) == 25
         assert set(report.resumed) == set(completed)
         assert diff_digests(
             campaign_digest(uninterrupted), campaign_digest(report.results)
@@ -108,7 +108,7 @@ class TestInjectedTransients:
         report = run_all(quick=True, fault_plan=plan, max_retries=2,
                          report=True, sleep=lambda s: None)
         assert report.ok
-        assert len(report.results) == 23
+        assert len(report.results) == 25
         # The failure report lists exactly the injected faults.
         assert sorted(f.experiment_id for f in report.attempt_failures) == sorted(targets)
         assert all(f.transient for f in report.attempt_failures)
